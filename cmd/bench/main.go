@@ -1,0 +1,78 @@
+// Command bench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	bench [-exp fig10,fig11] [-tier tiny|mini|full] [-datasets LJ,WG] [-algs pr,bfs]
+//
+// With no -exp it runs every experiment in paper order. Tier controls
+// workload scale: tiny (seconds, default), mini (minutes), full
+// (paper-scale; hours and tens of GB for the TW-class workload).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphpulse/internal/bench"
+	"graphpulse/internal/graph/gen"
+)
+
+func main() {
+	var (
+		expFlag     = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		tierFlag    = flag.String("tier", "tiny", "workload scale: tiny|mini|full")
+		datasetFlag = flag.String("datasets", "", "comma-separated Table IV abbreviations (WG,FB,WK,LJ,TW)")
+		algFlag     = flag.String("algs", "", "comma-separated algorithms (pr,ads,sssp,bfs,cc)")
+		listFlag    = flag.Bool("list", false, "list experiment ids and exit")
+		csvFlag     = flag.String("csv", "", "also write the engine sweep as CSV to this path")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var tier gen.Tier
+	switch *tierFlag {
+	case "tiny":
+		tier = gen.Tiny
+	case "mini":
+		tier = gen.Mini
+	case "full":
+		tier = gen.Full
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown tier %q\n", *tierFlag)
+		os.Exit(2)
+	}
+
+	opt := bench.Options{
+		Tier:       tier,
+		Datasets:   splitList(*datasetFlag),
+		Algorithms: splitList(*algFlag),
+		Out:        os.Stdout,
+		CSVPath:    *csvFlag,
+	}
+	if err := bench.RunExperiments(splitList(*expFlag), opt); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestGenerateKinds(t *testing.T) {
+	cases := []struct {
+		kind    string
+		wantN   int
+		wantErr bool
+	}{
+		{kind: "rmat", wantN: 1 << 8},
+		{kind: "er", wantN: 100},
+		{kind: "grid", wantN: 16},
+		{kind: "dataset", wantN: 1 << 12},
+		{kind: "bogus", wantErr: true},
+	}
+	for _, tc := range cases {
+		g, err := generate(tc.kind, 8, 4, 100, 500, 4, 4, "WG", "tiny", true, 1)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: expected error", tc.kind)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.kind, err)
+			continue
+		}
+		if g.NumVertices() != tc.wantN {
+			t.Errorf("%s: %d vertices, want %d", tc.kind, g.NumVertices(), tc.wantN)
+		}
+	}
+}
+
+func TestGenerateDatasetValidation(t *testing.T) {
+	if _, err := generate("dataset", 8, 4, 0, 0, 0, 0, "XX", "tiny", true, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := generate("dataset", 8, 4, 0, 0, 0, 0, "WG", "huge", true, 1); err == nil {
+		t.Error("unknown tier accepted")
+	}
+}

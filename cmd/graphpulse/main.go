@@ -1,0 +1,198 @@
+// Command graphpulse runs one algorithm over one graph on a chosen engine
+// and reports the converged values and architecture measurements.
+//
+// Usage:
+//
+//	graphpulse -alg sssp -root 3 -graph web.el            # accelerator (optimized)
+//	graphpulse -alg pr -engine ligra -rmat 16x12          # host software baseline
+//	graphpulse -alg cc -engine graphicionado -rmat 14x8   # BSP accelerator model
+//	graphpulse -alg bfs -engine solve -graph web.bin      # reference worklist solver
+//
+// Graphs come from -graph (text edge list, or binary container if the file
+// starts with the GPCS magic) or -rmat SCALExEDGEFACTOR (deterministic
+// synthetic). -top prints the N highest-valued vertices.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphpulse"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "path to an edge-list or binary graph file")
+		rmat      = flag.String("rmat", "", "generate an R-MAT graph, format SCALExEDGEFACTOR (e.g. 16x12)")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		algName   = flag.String("alg", "pr", "algorithm: pr|ads|sssp|bfs|reach|cc|sswp")
+		root      = flag.Uint("root", 0, "root vertex for sssp/bfs/reach/sswp")
+		engine    = flag.String("engine", "accel", "engine: accel|accel-base|ligra|graphicionado|solve")
+		slices    = flag.Int("slices", 1, "force partitioned accelerator execution into N slices")
+		top       = flag.Int("top", 5, "print the N highest-valued vertices")
+		stats     = flag.Bool("stats", true, "print architecture measurements")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *rmat, *seed)
+	if err != nil {
+		fail(err)
+	}
+	alg, err := makeAlg(*algName, graphpulse.VertexID(*root), g)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges; algorithm: %s; engine: %s\n",
+		g.NumVertices(), g.NumEdges(), alg.Name(), *engine)
+
+	var values []float64
+	switch *engine {
+	case "accel", "accel-base":
+		cfg := graphpulse.OptimizedConfig()
+		if *engine == "accel-base" {
+			cfg = graphpulse.BaselineConfig()
+		}
+		if *slices > 1 {
+			cfg.QueueCapacity = (g.NumVertices() + *slices - 1) / *slices
+		}
+		res, err := graphpulse.Run(cfg, g, alg)
+		if err != nil {
+			fail(err)
+		}
+		values = res.Values
+		if *stats {
+			fmt.Printf("cycles: %d (%.3f ms at 1 GHz); rounds: %d; slices: %d\n",
+				res.Cycles, res.Seconds*1e3, res.Rounds, res.Slices)
+			fmt.Printf("events: processed %d, emitted %d, coalesced %d (%.1f%%)\n",
+				res.EventsProcessed, res.EventsEmitted, res.EventsCoalesced,
+				100*float64(res.EventsCoalesced)/float64(res.EventsEmitted+1))
+			fmt.Printf("off-chip: %d reads, %d writes, %.1f%% of bytes utilized\n",
+				res.MemReads, res.MemWrites, 100*res.Utilization)
+		}
+	case "ligra":
+		start := time.Now()
+		res := graphpulse.RunLigra(graphpulse.DefaultLigraConfig(), g, alg)
+		wall := time.Since(start)
+		values = res.Values
+		if *stats {
+			fmt.Printf("wall time: %v; iterations: %d (push %d / pull %d); edges traversed: %d\n",
+				wall, res.Iterations, res.PushIterations, res.PullIterations, res.EdgesTraversed)
+		}
+	case "graphicionado":
+		res, err := graphpulse.RunGraphicionado(graphpulse.DefaultGraphicionadoConfig(), g, alg)
+		if err != nil {
+			fail(err)
+		}
+		values = res.Values
+		if *stats {
+			fmt.Printf("cycles: %d (%.3f ms at 1 GHz); iterations: %d; edge reads: %d\n",
+				res.Cycles, res.Seconds*1e3, res.Iterations, res.MemReads)
+		}
+	case "solve":
+		start := time.Now()
+		res := graphpulse.Solve(g, alg)
+		wall := time.Since(start)
+		values = res.Values
+		if *stats {
+			fmt.Printf("wall time: %v; activations: %d; emitted: %d\n", wall, res.Activations, res.Emitted)
+		}
+	default:
+		fail(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	printTop(values, *top)
+}
+
+func loadGraph(path, rmat string, seed int64) (*graphpulse.Graph, error) {
+	switch {
+	case path != "" && rmat != "":
+		return nil, fmt.Errorf("use -graph or -rmat, not both")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		br := bufio.NewReader(f)
+		magic, err := br.Peek(8)
+		if err == nil && len(magic) == 8 && binary.LittleEndian.Uint64(magic) == 0x47504353 {
+			return graphpulse.ReadBinary(br)
+		}
+		return graphpulse.ReadEdgeList(br, 0)
+	case rmat != "":
+		parts := strings.SplitN(rmat, "x", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad -rmat %q, want SCALExEDGEFACTOR", rmat)
+		}
+		scale, err1 := strconv.Atoi(parts[0])
+		ef, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad -rmat %q", rmat)
+		}
+		return graphpulse.GenerateRMAT(graphpulse.RMATParams{
+			A: 0.57, B: 0.19, C: 0.19, D: 0.05,
+			Scale: scale, EdgeFactor: ef, Weighted: true, Seed: seed,
+			NoiseAmount: 0.1,
+		})
+	default:
+		return nil, fmt.Errorf("provide -graph FILE or -rmat SCALExEDGEFACTOR")
+	}
+}
+
+func makeAlg(name string, root graphpulse.VertexID, g *graphpulse.Graph) (graphpulse.Algorithm, error) {
+	if int(root) >= g.NumVertices() {
+		return nil, fmt.Errorf("root %d out of range (n=%d)", root, g.NumVertices())
+	}
+	switch name {
+	case "pr":
+		return graphpulse.NewPageRankDelta(), nil
+	case "ads":
+		return graphpulse.NewAdsorption(), nil
+	case "sssp":
+		return graphpulse.NewSSSP(root), nil
+	case "bfs":
+		return graphpulse.NewBFS(root), nil
+	case "reach":
+		return graphpulse.NewReach(root), nil
+	case "cc":
+		return graphpulse.NewConnectedComponents(), nil
+	case "sswp":
+		return graphpulse.NewSSWP(root), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func printTop(values []float64, n int) {
+	if n <= 0 {
+		return
+	}
+	type vv struct {
+		v graphpulse.VertexID
+		x float64
+	}
+	all := make([]vv, len(values))
+	for i, x := range values {
+		all[i] = vv{graphpulse.VertexID(i), x}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].x > all[j].x })
+	if n > len(all) {
+		n = len(all)
+	}
+	fmt.Printf("top %d vertices:\n", n)
+	for _, e := range all[:n] {
+		fmt.Printf("  v%-10d %g\n", e.v, e.x)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "graphpulse: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module graphpulse
+
+go 1.22

@@ -1,0 +1,259 @@
+// Package graphpulse is a faithful software reproduction of GraphPulse
+// (Rahman, Abu-Ghazaleh, Gupta — MICRO 2020): an event-driven hardware
+// accelerator for asynchronous graph processing, modeled at cycle level,
+// together with the delta-accumulative algorithm framework it executes and
+// the two baselines the paper evaluates against (a Ligra-style software
+// framework and a Graphicionado-style BSP accelerator model).
+//
+// This package is the public facade: it re-exports the stable surface of
+// the internal packages so applications depend on one import path.
+//
+// # Quick start
+//
+//	g, _ := graphpulse.GenerateRMAT(graphpulse.RMATParams{
+//	    A: 0.57, B: 0.19, C: 0.19, D: 0.05, Scale: 14, EdgeFactor: 12,
+//	    Weighted: true, Seed: 42,
+//	})
+//	res, _ := graphpulse.Run(graphpulse.OptimizedConfig(), g,
+//	    graphpulse.NewPageRankDelta())
+//	fmt.Printf("converged in %d cycles (%.3f ms at 1 GHz)\n",
+//	    res.Cycles, res.Seconds*1e3)
+//
+// # Structure
+//
+//   - Graphs: CSR storage ([Graph]), loaders, and deterministic workload
+//     generators calibrated to the paper's Table IV datasets.
+//   - Algorithms: the Table II delta-accumulative applications (PageRank-
+//     Delta, Adsorption, SSSP, BFS, Connected Components) plus extensions,
+//     all defined by propagate/reduce/init/terminate functions.
+//   - Accelerator: the GraphPulse model — coalescing event queues, round
+//     scheduler, event processors, decoupled generation streams, prefetcher,
+//     DRAM timing model, and large-graph slicing.
+//   - Baselines: [RunLigra] (host-parallel software) and
+//     [RunGraphicionado] (simulated BSP accelerator).
+//   - Energy: the Table V power/area model.
+package graphpulse
+
+import (
+	"io"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/baseline/graphicionado"
+	"graphpulse/internal/baseline/ligra"
+	"graphpulse/internal/core"
+	"graphpulse/internal/energy"
+	"graphpulse/internal/graph"
+	"graphpulse/internal/graph/gen"
+)
+
+// Graph is an immutable directed graph in Compressed Sparse Row form.
+type Graph = graph.CSR
+
+// Edge is a single directed, optionally weighted edge.
+type Edge = graph.Edge
+
+// VertexID identifies a vertex (graphs are labeled 0..NumVertices-1).
+type VertexID = graph.VertexID
+
+// GraphStats summarizes a graph's shape (Table IV reporting).
+type GraphStats = graph.Stats
+
+// NewGraph builds a CSR graph from an edge list.
+func NewGraph(numVertices int, edges []Edge, weighted bool) (*Graph, error) {
+	return graph.FromEdges(numVertices, edges, weighted)
+}
+
+// ReadEdgeList parses a SNAP-style text edge list.
+func ReadEdgeList(r io.Reader, vertexHint int) (*Graph, error) {
+	return graph.ReadEdgeList(r, vertexHint)
+}
+
+// WriteEdgeList emits a graph as a text edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// ReadBinary loads a graph from the compact binary container.
+func ReadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// WriteBinary stores a graph in the compact binary container.
+func WriteBinary(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// ComputeGraphStats scans a graph and summarizes its shape.
+func ComputeGraphStats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+// RMATParams configures the R-MAT synthetic graph generator.
+type RMATParams = gen.RMATParams
+
+// GenerateRMAT builds a deterministic R-MAT graph.
+func GenerateRMAT(p RMATParams) (*Graph, error) { return gen.RMAT(p) }
+
+// GenerateErdosRenyi builds a uniform random graph with n vertices and m
+// edges.
+func GenerateErdosRenyi(n, m int, weighted bool, seed int64) (*Graph, error) {
+	return gen.ErdosRenyi(n, m, weighted, seed)
+}
+
+// GenerateGrid builds a 4-neighbor grid (road-network-like topology).
+func GenerateGrid(width, height int, weighted bool, seed int64) (*Graph, error) {
+	return gen.Grid2D(width, height, weighted, seed)
+}
+
+// DatasetSpec describes one of the paper's Table IV workloads and its
+// synthetic stand-in.
+type DatasetSpec = gen.DatasetSpec
+
+// Tier selects the size class of a dataset stand-in (Tiny/Mini/Full).
+type Tier = gen.Tier
+
+// Dataset size tiers. Full matches the paper's dataset scales; Mini is the
+// benchmarking default; Tiny is for tests.
+const (
+	Tiny = gen.Tiny
+	Mini = gen.Mini
+	Full = gen.Full
+)
+
+// Datasets lists the five Table IV workloads (WG, FB, WK, LJ, TW).
+func Datasets() []DatasetSpec { return gen.Datasets }
+
+// DatasetByAbbrev returns the Table IV workload with the given abbreviation.
+func DatasetByAbbrev(abbrev string) (DatasetSpec, error) { return gen.DatasetByAbbrev(abbrev) }
+
+// Algorithm is a delta-accumulative graph computation (paper Section II-B):
+// a commutative/associative reduce with identity, plus a per-edge propagate.
+type Algorithm = algorithms.Algorithm
+
+// EdgeContext carries per-edge information to propagate functions.
+type EdgeContext = algorithms.EdgeContext
+
+// Algorithm constructors (the Table II mappings plus extensions).
+var (
+	// NewPageRankDelta is incremental PageRank (propagate α·δ/N, reduce +).
+	NewPageRankDelta = algorithms.NewPageRankDelta
+	// NewAdsorption is weighted label propagation (propagate α·E·δ, reduce +).
+	NewAdsorption = algorithms.NewAdsorption
+	// NewSSSP is single-source shortest paths (propagate E+δ, reduce min).
+	NewSSSP = algorithms.NewSSSP
+	// NewBFS is hop-level breadth-first search (propagate δ+1, reduce min).
+	NewBFS = algorithms.NewBFS
+	// NewReach is reachability, the literal Table II BFS row (propagate 0).
+	NewReach = algorithms.NewReach
+	// NewConnectedComponents is max-label propagation (propagate δ, reduce max).
+	NewConnectedComponents = algorithms.NewConnectedComponents
+	// NewSSWP is single-source widest path (propagate min(δ,E), reduce max).
+	NewSSWP = algorithms.NewSSWP
+	// NewReliablePath is most-reliable path (propagate δ·E, reduce max).
+	NewReliablePath = algorithms.NewReliablePath
+)
+
+// Solve runs an algorithm to convergence with the sequential reference
+// worklist engine — the golden model the hardware simulations are verified
+// against. Use it when you want answers, not architecture measurements.
+func Solve(g *Graph, alg Algorithm) *SolveResult { return algorithms.Solve(g, alg) }
+
+// SolveResult is the reference solver's output.
+type SolveResult = algorithms.SolveResult
+
+// IncrementalAfterInsert prepares incremental recomputation after edge
+// insertions: given a converged state on `old`, it returns the post-update
+// graph and a warm-started algorithm seeded with exactly the correction
+// events the new edges introduce. Run the pair on any engine; the fixed
+// point matches a cold start on the new graph at a fraction of the work.
+// Supported by the path/label algorithms and PageRank-Delta.
+func IncrementalAfterInsert(alg Algorithm, old *Graph, added []Edge, state []float64) (*Graph, Algorithm, error) {
+	return algorithms.IncrementalAfterInsert(alg, old, added, state)
+}
+
+// Config describes a GraphPulse accelerator build.
+type Config = core.Config
+
+// Result is an accelerator run's converged values plus every measurement
+// the paper's figures are built from.
+type Result = core.Result
+
+// RoundStats records one scheduler round (Figures 4 and 8).
+type RoundStats = core.RoundStats
+
+// OptimizedConfig is the paper's full GraphPulse design (Table III +
+// Section V optimizations) — the headline configuration.
+func OptimizedConfig() Config { return core.OptimizedConfig() }
+
+// BaselineConfig is the unoptimized GraphPulse of Section IV.
+func BaselineConfig() Config { return core.BaselineConfig() }
+
+// Run simulates the GraphPulse accelerator executing alg over g.
+func Run(cfg Config, g *Graph, alg Algorithm) (*Result, error) {
+	a, err := core.New(cfg, g, alg)
+	if err != nil {
+		return nil, err
+	}
+	return a.Run()
+}
+
+// LigraConfig tunes the Ligra-style software baseline.
+type LigraConfig = ligra.Config
+
+// LigraResult is the software baseline's output (wall-clock timing is the
+// caller's responsibility; the engine runs natively).
+type LigraResult = ligra.Result
+
+// DefaultLigraConfig mirrors Ligra's published defaults.
+func DefaultLigraConfig() LigraConfig { return ligra.DefaultConfig() }
+
+// RunLigra executes alg under the direction-optimizing BSP software
+// framework on the host.
+func RunLigra(cfg LigraConfig, g *Graph, alg Algorithm) *LigraResult {
+	return ligra.New(cfg, g).Run(alg)
+}
+
+// GraphicionadoConfig tunes the Graphicionado baseline model.
+type GraphicionadoConfig = graphicionado.Config
+
+// GraphicionadoResult is the Graphicionado model's output.
+type GraphicionadoResult = graphicionado.Result
+
+// DefaultGraphicionadoConfig mirrors the paper's baseline setup.
+func DefaultGraphicionadoConfig() GraphicionadoConfig { return graphicionado.DefaultConfig() }
+
+// RunGraphicionado simulates the Graphicionado-style BSP accelerator.
+func RunGraphicionado(cfg GraphicionadoConfig, g *Graph, alg Algorithm) (*GraphicionadoResult, error) {
+	return graphicionado.Run(cfg, g, alg)
+}
+
+// ClusterConfig sizes a multi-accelerator system (Section IV-F's
+// unexplored option b: one chip per slice, events streamed between chips).
+type ClusterConfig = core.ClusterConfig
+
+// ClusterResult aggregates a multi-accelerator run.
+type ClusterResult = core.ClusterResult
+
+// DefaultClusterConfig returns a 4-chip system with a modest serial link.
+func DefaultClusterConfig() ClusterConfig { return core.DefaultClusterConfig() }
+
+// RunCluster simulates alg over g on a multi-accelerator cluster: the graph
+// is partitioned across chips that run asynchronously, streaming
+// inter-slice events over a latency/bandwidth-limited interconnect.
+func RunCluster(cfg ClusterConfig, g *Graph, alg Algorithm) (*ClusterResult, error) {
+	cl, err := core.NewCluster(cfg, g, alg)
+	if err != nil {
+		return nil, err
+	}
+	return cl.Run()
+}
+
+// EnergyComponent is one Table V power/area row.
+type EnergyComponent = energy.Component
+
+// EnergyTableV returns the paper's published component rows.
+func EnergyTableV() []EnergyComponent { return energy.TableV() }
+
+// AcceleratorPowerWatts returns total accelerator power at an activity
+// factor (1 = paper's measured activity).
+func AcceleratorPowerWatts(activity float64) float64 {
+	return energy.AcceleratorPowerWatts(energy.TableV(), activity)
+}
+
+// EnergyEfficiencyRatio returns how many times less energy the accelerator
+// uses than the 12-core CPU baseline for runs of the given durations.
+func EnergyEfficiencyRatio(accelSeconds, cpuSeconds float64) (float64, error) {
+	return energy.EfficiencyRatio(nil, accelSeconds, cpuSeconds, 1)
+}

@@ -1,0 +1,147 @@
+// Package algorithms defines the delta-accumulative computation model of
+// paper Section II-B and the five Table II application mappings (plus two
+// extensions), together with a reference worklist solver used as the
+// correctness oracle for every engine in the repository.
+//
+// A computation is expressed by two functions over a value domain:
+//
+//	reduce ⊕  – commutative, associative accumulation with an identity,
+//	propagate – per-edge transformation of a source delta into an
+//	            outgoing delta (distributive over ⊕).
+//
+// A vertex state is updated as v ⊕= δ; if the update changed the state, the
+// accumulated delta is propagated along all out-edges. These are exactly the
+// properties (Reordering, Simplification) that make in-flight event
+// coalescing safe in the GraphPulse queue.
+package algorithms
+
+import (
+	"math"
+
+	"graphpulse/internal/graph"
+)
+
+// Value is the vertex/delta domain. All Table II applications fit float64
+// (vertex ids for CC are exactly representable far beyond 2^32).
+type Value = float64
+
+// Infinity is the initial distance for path-style algorithms.
+var Infinity = math.Inf(1)
+
+// EdgeContext carries the per-edge information a propagate function may use.
+type EdgeContext struct {
+	Src, Dst graph.VertexID
+	// Weight is the edge weight (1 for unweighted graphs).
+	Weight float32
+	// SrcOutDegree is the out-degree of the source vertex; PageRank-style
+	// propagation divides by it.
+	SrcOutDegree int
+}
+
+// InitialEvent seeds the computation: an initial delta for a vertex
+// (paper Section III-A, "Initialization and Termination").
+type InitialEvent struct {
+	Vertex graph.VertexID
+	Delta  Value
+}
+
+// Algorithm is a delta-accumulative graph computation. Implementations must
+// satisfy, for all values a, b, c:
+//
+//	Reduce(a,b) == Reduce(b,a)
+//	Reduce(Reduce(a,b),c) == Reduce(a,Reduce(b,c))
+//	Reduce(Identity(), a) == a
+//
+// These laws are what make event coalescing and asynchronous scheduling
+// correct; they are enforced by property-based tests and by
+// CheckAlgebraicLaws.
+type Algorithm interface {
+	// Name is a short identifier ("pagerank-delta").
+	Name() string
+	// Identity is the ⊕ identity (0 for +, ∞ for min, -∞ for max).
+	Identity() Value
+	// Reduce applies ⊕.
+	Reduce(a, b Value) Value
+	// Propagate maps an accumulated source delta to the outgoing delta for
+	// one edge.
+	Propagate(delta Value, e EdgeContext) Value
+	// InitState is the vertex-memory initialization (Table II's V_init).
+	InitState(v graph.VertexID) Value
+	// InitialEvents returns the bootstrap event set for g.
+	InitialEvents(g *graph.CSR) []InitialEvent
+	// Changed is the local termination condition: it reports whether the
+	// state update old→new is significant enough to propagate.
+	Changed(old, new Value) bool
+}
+
+// Progressor is optionally implemented by algorithms that support the
+// global termination condition of Section IV-C: Progress returns the
+// per-update contribution to the global progress accumulator.
+type Progressor interface {
+	Progress(old, new Value) float64
+}
+
+// WantsWeights is optionally implemented to declare that propagate reads
+// edge weights; engines use it to size simulated edge records (8 bytes with
+// weights, 4 without).
+type WantsWeights interface {
+	WantsWeights() bool
+}
+
+// EdgeRecordBytes returns the simulated size of one CSR edge record for alg.
+func EdgeRecordBytes(alg Algorithm) uint64 {
+	if w, ok := alg.(WantsWeights); ok && w.WantsWeights() {
+		return 8 // 4-byte destination id + 4-byte weight
+	}
+	return 4 // destination id only
+}
+
+// CheckAlgebraicLaws verifies commutativity, associativity and identity of
+// alg.Reduce on the provided sample values, returning the first violation.
+// Engines call it in tests; the accelerator assumes the laws hold.
+func CheckAlgebraicLaws(alg Algorithm, samples []Value) error {
+	eq := func(a, b Value) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			// NaN arises only from combinations outside the algorithm's
+			// domain (e.g. +∞ + -∞ for a sum reduce); skip those.
+			return true
+		}
+		if math.IsInf(a, 0) || math.IsInf(b, 0) || a == 0 || b == 0 {
+			return a == b
+		}
+		return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+	}
+	id := alg.Identity()
+	for _, a := range samples {
+		if got := alg.Reduce(id, a); !eq(got, a) {
+			return &LawError{alg.Name(), "identity", []Value{a}, got, a}
+		}
+		for _, b := range samples {
+			ab, ba := alg.Reduce(a, b), alg.Reduce(b, a)
+			if !eq(ab, ba) {
+				return &LawError{alg.Name(), "commutativity", []Value{a, b}, ab, ba}
+			}
+			for _, c := range samples {
+				l := alg.Reduce(alg.Reduce(a, b), c)
+				r := alg.Reduce(a, alg.Reduce(b, c))
+				if !eq(l, r) {
+					return &LawError{alg.Name(), "associativity", []Value{a, b, c}, l, r}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// LawError reports an algebraic-law violation found by CheckAlgebraicLaws.
+type LawError struct {
+	Alg    string
+	Law    string
+	Inputs []Value
+	Got    Value
+	Want   Value
+}
+
+func (e *LawError) Error() string {
+	return "algorithms: " + e.Alg + " violates " + e.Law
+}

@@ -1,0 +1,255 @@
+package algorithms
+
+import (
+	"container/heap"
+	"math"
+
+	"graphpulse/internal/graph"
+)
+
+// This file holds textbook implementations of the evaluated algorithms,
+// written independently of the delta-accumulative framework. Tests compare
+// Solve (and every engine) against these oracles.
+
+// DijkstraSSSP computes shortest path distances from root using a binary
+// heap. Edge weights must be non-negative.
+func DijkstraSSSP(g *graph.CSR, root graph.VertexID) []Value {
+	n := g.NumVertices()
+	dist := make([]Value, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[root] = 0
+	pq := &vertexHeap{items: []heapItem{{v: root, key: 0}}, better: func(a, b Value) bool { return a < b }}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.key > dist[it.v] {
+			continue
+		}
+		weights := g.NeighborWeights(it.v)
+		for i, d := range g.Neighbors(it.v) {
+			w := Value(1)
+			if weights != nil {
+				w = Value(weights[i])
+			}
+			if nd := it.key + w; nd < dist[d] {
+				dist[d] = nd
+				heap.Push(pq, heapItem{v: d, key: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// WidestPath computes single-source widest path (max-min) widths from root
+// with a Dijkstra-style max-heap.
+func WidestPath(g *graph.CSR, root graph.VertexID) []Value {
+	n := g.NumVertices()
+	width := make([]Value, n)
+	for i := range width {
+		width[i] = math.Inf(-1)
+	}
+	width[root] = Infinity
+	pq := &vertexHeap{items: []heapItem{{v: root, key: Infinity}}, better: func(a, b Value) bool { return a > b }}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.key < width[it.v] {
+			continue
+		}
+		weights := g.NeighborWeights(it.v)
+		for i, d := range g.Neighbors(it.v) {
+			w := Value(1)
+			if weights != nil {
+				w = Value(weights[i])
+			}
+			if nw := math.Min(it.key, w); nw > width[d] {
+				width[d] = nw
+				heap.Push(pq, heapItem{v: d, key: nw})
+			}
+		}
+	}
+	return width
+}
+
+// BFSLevels computes hop counts from root with a standard queue BFS.
+func BFSLevels(g *graph.CSR, root graph.VertexID) []Value {
+	n := g.NumVertices()
+	level := make([]Value, n)
+	for i := range level {
+		level[i] = Infinity
+	}
+	level[root] = 0
+	queue := []graph.VertexID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, d := range g.Neighbors(v) {
+			if level[d] == Infinity {
+				level[d] = level[v] + 1
+				queue = append(queue, d)
+			}
+		}
+	}
+	return level
+}
+
+// Reachable returns 0 for vertices reachable from root and ∞ otherwise
+// (the literal Table II BFS row's fixed point).
+func Reachable(g *graph.CSR, root graph.VertexID) []Value {
+	lv := BFSLevels(g, root)
+	for i, l := range lv {
+		if l != Infinity {
+			lv[i] = 0
+		}
+	}
+	return lv
+}
+
+// MaxLabelFixedPoint computes the fixed point of max-label forward
+// propagation by Bellman-Ford-style sweeps: label(v) = max over v and all
+// vertices u with a path u→…→v of id(u). On a symmetrized graph this is
+// connected components.
+func MaxLabelFixedPoint(g *graph.CSR) []Value {
+	n := g.NumVertices()
+	label := make([]Value, n)
+	for v := range label {
+		label[v] = Value(v)
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			lv := label[v]
+			for _, d := range g.Neighbors(graph.VertexID(v)) {
+				if lv > label[d] {
+					label[d] = lv
+					changed = true
+				}
+			}
+		}
+	}
+	return label
+}
+
+// PageRankPower computes the fixed point of the PageRank-Delta recurrence
+// rank(v) = (1-α) + α·Σ_{u→v} rank(u)/N(u) by Jacobi iteration to the given
+// tolerance. Solve's PR-Delta converges to the same fixed point up to the
+// propagation threshold.
+func PageRankPower(g *graph.CSR, alpha, tol float64, maxIter int) []Value {
+	n := g.NumVertices()
+	rank := make([]Value, n)
+	next := make([]Value, n)
+	for v := range rank {
+		rank[v] = 1 - alpha
+	}
+	tr := g.Transpose()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.OutDegree(graph.VertexID(v))
+	}
+	for it := 0; it < maxIter; it++ {
+		var diff float64
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, u := range tr.Neighbors(graph.VertexID(v)) {
+				if deg[u] > 0 {
+					sum += rank[u] / float64(deg[u])
+				}
+			}
+			next[v] = (1 - alpha) + alpha*sum
+			diff += math.Abs(next[v] - rank[v])
+		}
+		rank, next = next, rank
+		if diff < tol {
+			break
+		}
+	}
+	return rank
+}
+
+// AdsorptionFixedPoint computes the fixed point of
+// value(v) = β·I_v + α·Σ_{u→v} E_uv·value(u) by Jacobi iteration.
+func AdsorptionFixedPoint(g *graph.CSR, a *Adsorption, tol float64, maxIter int) []Value {
+	n := g.NumVertices()
+	val := make([]Value, n)
+	next := make([]Value, n)
+	inj := func(v graph.VertexID) float64 {
+		if a.Injection != nil {
+			return a.Injection(v)
+		}
+		return 1
+	}
+	for v := range val {
+		val[v] = a.Beta * inj(graph.VertexID(v))
+	}
+	tr := g.Transpose()
+	for it := 0; it < maxIter; it++ {
+		var diff float64
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			weights := tr.NeighborWeights(graph.VertexID(v))
+			for i, u := range tr.Neighbors(graph.VertexID(v)) {
+				w := 1.0
+				if weights != nil {
+					w = float64(weights[i])
+				}
+				sum += w * val[u]
+			}
+			next[v] = a.Beta*inj(graph.VertexID(v)) + a.Alpha*sum
+			diff += math.Abs(next[v] - val[v])
+		}
+		val, next = next, val
+		if diff < tol {
+			break
+		}
+	}
+	return val
+}
+
+type heapItem struct {
+	v   graph.VertexID
+	key Value
+}
+
+type vertexHeap struct {
+	items  []heapItem
+	better func(a, b Value) bool
+}
+
+func (h *vertexHeap) Len() int           { return len(h.items) }
+func (h *vertexHeap) Less(i, j int) bool { return h.better(h.items[i].key, h.items[j].key) }
+func (h *vertexHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *vertexHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
+func (h *vertexHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// MostReliablePath computes max-product path reliabilities from root with a
+// Dijkstra-style max-heap (weights must lie in (0,1]).
+func MostReliablePath(g *graph.CSR, root graph.VertexID) []Value {
+	n := g.NumVertices()
+	rel := make([]Value, n)
+	rel[root] = 1
+	pq := &vertexHeap{items: []heapItem{{v: root, key: 1}}, better: func(a, b Value) bool { return a > b }}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.key < rel[it.v] {
+			continue
+		}
+		weights := g.NeighborWeights(it.v)
+		for i, d := range g.Neighbors(it.v) {
+			w := Value(1)
+			if weights != nil {
+				w = Value(weights[i])
+			}
+			if nr := it.key * w; nr > rel[d] {
+				rel[d] = nr
+				heap.Push(pq, heapItem{v: d, key: nr})
+			}
+		}
+	}
+	return rel
+}

@@ -1,0 +1,73 @@
+package algorithms
+
+import (
+	"graphpulse/internal/graph"
+)
+
+// SolveResult is the output of the reference solver.
+type SolveResult struct {
+	// Values is the converged vertex state.
+	Values []Value
+	// Activations counts vertex updates performed (popped work items).
+	Activations int64
+	// Emitted counts propagated edge deltas.
+	Emitted int64
+}
+
+// Solve runs alg to convergence with a sequential vertex-coalescing
+// worklist — the software embodiment of Algorithm 1 from the paper with a
+// FIFO queue and per-vertex coalescing. It is exact (not approximate) given
+// the algorithm's algebraic laws, and serves as the golden model that every
+// engine (accelerator, Ligra-style, Graphicionado-style) is tested against.
+func Solve(g *graph.CSR, alg Algorithm) *SolveResult {
+	n := g.NumVertices()
+	state := make([]Value, n)
+	acc := make([]Value, n)
+	inList := make([]bool, n)
+	id := alg.Identity()
+	for v := 0; v < n; v++ {
+		state[v] = alg.InitState(graph.VertexID(v))
+		acc[v] = id
+	}
+	worklist := make([]graph.VertexID, 0, n)
+	push := func(v graph.VertexID, d Value) {
+		acc[v] = alg.Reduce(acc[v], d)
+		if !inList[v] {
+			inList[v] = true
+			worklist = append(worklist, v)
+		}
+	}
+	for _, ev := range alg.InitialEvents(g) {
+		push(ev.Vertex, ev.Delta)
+	}
+	res := &SolveResult{}
+	for len(worklist) > 0 {
+		v := worklist[0]
+		worklist = worklist[1:]
+		inList[v] = false
+		delta := acc[v]
+		acc[v] = id
+		old := state[v]
+		next := alg.Reduce(old, delta)
+		state[v] = next
+		res.Activations++
+		if !alg.Changed(old, next) {
+			continue
+		}
+		deg := g.OutDegree(v)
+		weights := g.NeighborWeights(v)
+		for i, d := range g.Neighbors(v) {
+			w := float32(1)
+			if weights != nil {
+				w = weights[i]
+			}
+			out := alg.Propagate(delta, EdgeContext{
+				Src: v, Dst: d, Weight: w, SrcOutDegree: deg,
+			})
+			res.Emitted++
+			push(d, out)
+		}
+	}
+	res.Values = state
+	return res
+}

@@ -1,0 +1,401 @@
+// Package graphicionado models Graphicionado (Ham et al., MICRO'16), the
+// hardware baseline of the paper's evaluation: a Bulk-Synchronous
+// vertex-centric accelerator with parallel edge-processing streams.
+//
+// The model follows the GraphPulse authors' re-implementation choices
+// (Section VI-A), which are generous to Graphicionado:
+//
+//   - unlimited on-chip memory for the temporary (destination) update
+//     buffer, so scatter updates never spill,
+//   - zero-cost active-set management,
+//   - the same DRAM subsystem as GraphPulse (4 × DDR3 channels).
+//
+// Off-chip traffic per BSP iteration, as in the original design:
+//
+//   - the source-oriented processing phase streams each active vertex's
+//     property record and its out-edge list from DRAM (sequential in CSR
+//     order through parallel streams with prefetch), and
+//   - the apply phase streams the touched vertices' property records
+//     back-to-back, reading and writing each once.
+//
+// Its disadvantages versus GraphPulse are structural, exactly as in the
+// paper: synchronous BSP convergence (no lookahead, no coalescing across
+// iterations), a barrier per iteration, and re-streaming vertex + edge data
+// every iteration a vertex is active.
+package graphicionado
+
+import (
+	"fmt"
+	"sort"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/graph"
+	"graphpulse/internal/mem"
+	"graphpulse/internal/sim"
+)
+
+// Config sizes the model.
+type Config struct {
+	// Streams is the number of parallel edge-processing pipelines (8, to
+	// match the GraphPulse configuration's memory parallelism).
+	Streams int
+	// PrefetchLines is the sequential prefetch depth per stream.
+	PrefetchLines int
+	// Memory configures the shared DRAM model.
+	Memory mem.Config
+	// ClockHz converts cycles to seconds (1 GHz).
+	ClockHz float64
+	// MaxCycles aborts runaway simulations.
+	MaxCycles uint64
+	// MaxIterations bounds the BSP loop.
+	MaxIterations int
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		Streams:       8,
+		PrefetchLines: 4,
+		Memory:        mem.DefaultConfig(),
+		ClockHz:       1e9,
+		MaxCycles:     5_000_000_000,
+		MaxIterations: 1_000_000,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.Streams < 1:
+		return fmt.Errorf("graphicionado: Streams=%d", c.Streams)
+	case c.PrefetchLines < 1:
+		return fmt.Errorf("graphicionado: PrefetchLines=%d", c.PrefetchLines)
+	case c.ClockHz <= 0:
+		return fmt.Errorf("graphicionado: ClockHz=%g", c.ClockHz)
+	case c.MaxCycles == 0:
+		return fmt.Errorf("graphicionado: MaxCycles=0")
+	case c.MaxIterations < 1:
+		return fmt.Errorf("graphicionado: MaxIterations=%d", c.MaxIterations)
+	}
+	return c.Memory.Validate()
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Values     []float64
+	Cycles     uint64
+	Seconds    float64
+	Iterations int
+	// EdgesTraversed counts edge relaxations across all iterations.
+	EdgesTraversed int64
+	// Off-chip traffic: edge stream + vertex property stream.
+	MemReads    int64
+	MemWrites   int64
+	BytesMoved  int64
+	BytesUseful int64
+	Utilization float64
+}
+
+// OffChipAccesses returns total line transfers.
+func (r *Result) OffChipAccesses() int64 { return r.MemReads + r.MemWrites }
+
+const (
+	edgeBase          = 0x0100_0000_0000
+	vertexBase        = 0x0000_0000_0000
+	vertexRecordBytes = 8
+)
+
+// engine is the per-run simulation state.
+type engine struct {
+	cfg       Config
+	g         *graph.CSR
+	alg       algorithms.Algorithm
+	sim       *sim.Engine
+	memory    *mem.Memory
+	fetch     *mem.Fetcher
+	edgeBytes uint64
+
+	state   []float64
+	acc     []float64
+	applied []float64
+
+	active  []graph.VertexID
+	nextIdx int
+	streams []stream
+
+	touched   []graph.VertexID
+	inTouched []bool
+
+	// Per-phase edge-line readiness, shared by all streams (consecutive
+	// active vertices often share boundary lines). phaseGen invalidates
+	// completions that land after their phase ended.
+	lineState map[uint64]uint8
+	phaseGen  uint64
+
+	edgesTraversed int64
+	iterations     int
+}
+
+type stream struct {
+	v      graph.VertexID
+	idx    int
+	deg    int
+	start  uint64
+	active bool
+}
+
+// Run executes alg over g under the Graphicionado model.
+func Run(cfg Config, g *graph.CSR, alg algorithms.Algorithm) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("graphicionado: empty graph")
+	}
+	e := &engine{
+		cfg:       cfg,
+		g:         g,
+		alg:       alg,
+		sim:       sim.NewEngine(),
+		edgeBytes: algorithms.EdgeRecordBytes(alg),
+	}
+	e.memory = mem.New(cfg.Memory)
+	e.fetch = mem.NewFetcher(e.memory)
+	e.sim.Register(e.memory)
+
+	n := g.NumVertices()
+	e.state = make([]float64, n)
+	e.acc = make([]float64, n)
+	e.applied = make([]float64, n)
+	id := alg.Identity()
+	for v := 0; v < n; v++ {
+		e.state[v] = alg.InitState(graph.VertexID(v))
+		e.acc[v] = id
+	}
+	e.inTouched = make([]bool, n)
+	e.streams = make([]stream, cfg.Streams)
+	seen := make([]bool, n)
+	for _, ev := range alg.InitialEvents(g) {
+		e.acc[ev.Vertex] = alg.Reduce(e.acc[ev.Vertex], ev.Delta)
+		if !seen[ev.Vertex] {
+			seen[ev.Vertex] = true
+			e.active = append(e.active, ev.Vertex)
+		}
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	ms := e.memory.Stats()
+	res := &Result{
+		Values:         e.state,
+		Cycles:         e.sim.Cycle(),
+		Seconds:        e.sim.SecondsAt(cfg.ClockHz),
+		Iterations:     e.iterations,
+		EdgesTraversed: e.edgesTraversed,
+		MemReads:       ms.Counter("reads"),
+		MemWrites:      ms.Counter("writes"),
+		BytesMoved:     ms.Counter("bytes_transferred"),
+		BytesUseful:    ms.Counter("bytes_useful"),
+		Utilization:    e.memory.Utilization(),
+	}
+	return res, nil
+}
+
+func (e *engine) run() error {
+	id := e.alg.Identity()
+	for e.iterations = 0; e.iterations < e.cfg.MaxIterations; e.iterations++ {
+		// Apply phase (on-chip): consume accumulated deltas, keep changed
+		// vertices as this iteration's sources.
+		sources := e.active[:0]
+		for _, v := range e.active {
+			delta := e.acc[v]
+			e.acc[v] = id
+			old := e.state[v]
+			next := e.alg.Reduce(old, delta)
+			e.state[v] = next
+			if e.alg.Changed(old, next) && e.g.OutDegree(v) > 0 {
+				e.applied[v] = delta
+				sources = append(sources, v)
+			}
+		}
+		e.active = sources
+		if len(e.active) == 0 {
+			return nil
+		}
+		// The processing phase reads the active (source) vertex property
+		// records alongside the edge stream; sort the list so the stream is
+		// CSR-sequential.
+		sort.Slice(e.active, func(i, j int) bool { return e.active[i] < e.active[j] })
+		if err := e.streamVertexRecords(e.active, false); err != nil {
+			return err
+		}
+		// Processing phase: stream the active vertices' edges from DRAM.
+		if err := e.processingPhase(); err != nil {
+			return err
+		}
+		// Apply phase: read and write back each touched vertex's property
+		// record ("the apply phase streams all touched vertices").
+		sort.Slice(e.touched, func(i, j int) bool { return e.touched[i] < e.touched[j] })
+		if err := e.streamVertexRecords(e.touched, false); err != nil {
+			return err
+		}
+		if err := e.streamVertexRecords(e.touched, true); err != nil {
+			return err
+		}
+		// Next frontier: every touched destination (filtered next apply).
+		e.active = append(e.active[:0], e.touched...)
+		for _, v := range e.touched {
+			e.inTouched[v] = false
+		}
+		e.touched = e.touched[:0]
+	}
+	return fmt.Errorf("graphicionado: exceeded %d iterations", e.cfg.MaxIterations)
+}
+
+// streamVertexRecords streams the property records of the given sorted
+// vertex list through DRAM at line granularity, blocking until the stream
+// completes (the phases are separated by the BSP barrier anyway). Useful
+// bytes reflect the records actually consumed per line.
+func (e *engine) streamVertexRecords(vs []graph.VertexID, write bool) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	remaining := 0
+	i := 0
+	for i < len(vs) {
+		line := (vertexBase + uint64(vs[i])*vertexRecordBytes) &^ (mem.LineBytes - 1)
+		useful := uint64(0)
+		for i < len(vs) && (vertexBase+uint64(vs[i])*vertexRecordBytes)&^(mem.LineBytes-1) == line {
+			useful += vertexRecordBytes
+			i++
+		}
+		remaining++
+		e.fetch.Fetch(line, mem.LineBytes, useful, write, func() { remaining-- })
+	}
+	start := e.sim.Cycle()
+	for remaining > 0 {
+		e.fetch.Pump()
+		e.sim.Step()
+		if e.sim.Cycle()-start > e.cfg.MaxCycles {
+			return fmt.Errorf("graphicionado: vertex stream exceeded %d cycles: %w",
+				e.cfg.MaxCycles, sim.ErrDeadline)
+		}
+	}
+	return nil
+}
+
+// Line-state values for lineState.
+const (
+	linePending uint8 = 1
+	lineReady   uint8 = 2
+)
+
+// processingPhase drains the active list through the parallel streams, one
+// edge per stream per cycle when its data has arrived.
+func (e *engine) processingPhase() error {
+	e.nextIdx = 0
+	e.phaseGen++
+	e.lineState = make(map[uint64]uint8)
+	for i := range e.streams {
+		e.streams[i].active = false
+	}
+	start := e.sim.Cycle()
+	for {
+		busy := false
+		for i := range e.streams {
+			s := &e.streams[i]
+			if !s.active {
+				if e.nextIdx >= len(e.active) {
+					continue
+				}
+				v := e.active[e.nextIdx]
+				e.nextIdx++
+				s.v = v
+				s.idx = 0
+				s.deg = e.g.OutDegree(v)
+				s.start = e.g.EdgeOffset(v)
+				s.active = true
+			}
+			busy = true
+			e.prefetch(s)
+			edge := s.start + uint64(s.idx)
+			line := (edgeBase + edge*e.edgeBytes) &^ (mem.LineBytes - 1)
+			if e.lineState[line] != lineReady {
+				continue // waiting for edge data
+			}
+			e.relax(s.v, edge, s.deg)
+			s.idx++
+			if s.idx >= s.deg {
+				s.active = false
+			}
+		}
+		if !busy && e.fetch.Idle() && e.memory.Pending() == 0 {
+			return nil
+		}
+		e.fetch.Pump()
+		e.sim.Step()
+		if e.sim.Cycle()-start > e.cfg.MaxCycles {
+			return fmt.Errorf("graphicionado: processing phase exceeded %d cycles: %w",
+				e.cfg.MaxCycles, sim.ErrDeadline)
+		}
+	}
+}
+
+// prefetch keeps up to PrefetchLines edge lines in flight for a stream.
+// Line state is shared across streams, so boundary lines common to
+// consecutive active vertices are fetched once per phase.
+func (e *engine) prefetch(s *stream) {
+	firstLine := (edgeBase + (s.start+uint64(s.idx))*e.edgeBytes) &^ (mem.LineBytes - 1)
+	lastLine := (edgeBase + (s.start+uint64(s.deg)-1)*e.edgeBytes) &^ (mem.LineBytes - 1)
+	for i := 0; i < e.cfg.PrefetchLines; i++ {
+		line := firstLine + uint64(i)*mem.LineBytes
+		if line > lastLine {
+			return
+		}
+		if e.lineState[line] != 0 {
+			continue
+		}
+		e.lineState[line] = linePending
+		useful := e.edgeLineUseful(line, s.start, s.deg)
+		gen := e.phaseGen
+		e.fetch.Fetch(line, mem.LineBytes, useful, false, func() {
+			if e.phaseGen == gen {
+				e.lineState[line] = lineReady
+			}
+		})
+	}
+}
+
+func (e *engine) edgeLineUseful(line uint64, start uint64, deg int) uint64 {
+	lo := edgeBase + start*e.edgeBytes
+	hi := edgeBase + (start+uint64(deg))*e.edgeBytes
+	a, b := line, line+mem.LineBytes
+	if lo > a {
+		a = lo
+	}
+	if hi < b {
+		b = hi
+	}
+	if b <= a {
+		return 0
+	}
+	return b - a
+}
+
+// relax processes one edge: propagate and reduce into the on-chip temp
+// property (no off-chip traffic under the unlimited-buffer assumption).
+func (e *engine) relax(src graph.VertexID, edge uint64, deg int) {
+	dst := e.g.Dst[edge]
+	out := e.alg.Propagate(e.applied[src], algorithms.EdgeContext{
+		Src:          src,
+		Dst:          dst,
+		Weight:       e.g.EdgeWeight(edge),
+		SrcOutDegree: deg,
+	})
+	e.acc[dst] = e.alg.Reduce(e.acc[dst], out)
+	e.edgesTraversed++
+	if !e.inTouched[dst] {
+		e.inTouched[dst] = true
+		e.touched = append(e.touched, dst)
+	}
+}

@@ -1,0 +1,181 @@
+package graphicionado
+
+import (
+	"math"
+	"testing"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/graph"
+	"graphpulse/internal/graph/gen"
+)
+
+// bestRoot returns the max-out-degree vertex, so source-rooted algorithms
+// have nontrivial traversals on shuffled R-MAT graphs.
+func bestRoot(g *graph.CSR) graph.VertexID {
+	best, deg := graph.VertexID(0), -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(graph.VertexID(v)); d > deg {
+			best, deg = graph.VertexID(v), d
+		}
+	}
+	return best
+}
+
+func testGraph(t testing.TB) *graph.CSR {
+	t.Helper()
+	g, err := gen.RMAT(gen.RMATParams{
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05, Scale: 10, EdgeFactor: 8,
+		Weighted: true, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func assertMatch(t *testing.T, label string, got, want []float64, tol float64) {
+	t.Helper()
+	bad := 0
+	for v := range want {
+		a, b := got[v], want[v]
+		if a == b || (math.IsInf(a, 1) && math.IsInf(b, 1)) || (math.IsInf(a, -1) && math.IsInf(b, -1)) {
+			continue
+		}
+		if math.Abs(a-b) > tol {
+			bad++
+			if bad <= 3 {
+				t.Errorf("%s: vertex %d = %g, want %g", label, v, a, b)
+			}
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%s: %d mismatches", label, bad)
+	}
+}
+
+func TestGraphicionadoMatchesOracle(t *testing.T) {
+	g := testGraph(t)
+	root := bestRoot(g)
+	cases := []struct {
+		alg  algorithms.Algorithm
+		want []float64
+		tol  float64
+	}{
+		{algorithms.NewBFS(root), algorithms.BFSLevels(g, root), 0},
+		{algorithms.NewSSSP(root), algorithms.DijkstraSSSP(g, root), 1e-9},
+		{algorithms.NewConnectedComponents(), algorithms.MaxLabelFixedPoint(g), 0},
+		{algorithms.NewSSWP(root), algorithms.WidestPath(g, root), 1e-9},
+	}
+	for _, tc := range cases {
+		res, err := Run(DefaultConfig(), g, tc.alg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.alg.Name(), err)
+		}
+		assertMatch(t, tc.alg.Name(), res.Values, tc.want, tc.tol)
+	}
+}
+
+func TestGraphicionadoPageRank(t *testing.T) {
+	g := testGraph(t)
+	pr := algorithms.NewPageRankDelta()
+	pr.Threshold = 1e-6
+	want := algorithms.PageRankPower(g, pr.Alpha, 1e-12, 10_000)
+	res, err := Run(DefaultConfig(), g, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatch(t, "pagerank", res.Values, want, 5e-3)
+}
+
+func TestGraphicionadoBFSIterationsEqualDepth(t *testing.T) {
+	g, err := gen.Chain(30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(DefaultConfig(), g, algorithms.NewBFS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BSP: one iteration per BFS level (plus the final empty check).
+	if res.Iterations < 29 || res.Iterations > 31 {
+		t.Errorf("Iterations = %d, want ≈ chain depth 30", res.Iterations)
+	}
+	if res.Cycles == 0 || res.Seconds <= 0 {
+		t.Error("timing not recorded")
+	}
+}
+
+func TestGraphicionadoTrafficAccounted(t *testing.T) {
+	g := testGraph(t)
+	res, err := Run(DefaultConfig(), g, algorithms.NewBFS(bestRoot(g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemReads == 0 {
+		t.Error("no reads recorded (edge + vertex streams)")
+	}
+	// The apply phase writes back each touched vertex's property record.
+	if res.MemWrites == 0 {
+		t.Error("no apply-phase writes recorded")
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization = %g", res.Utilization)
+	}
+	if res.OffChipAccesses() != res.MemReads+res.MemWrites {
+		t.Error("OffChipAccesses inconsistent")
+	}
+	if res.BytesMoved != 64*res.OffChipAccesses() {
+		t.Error("BytesMoved inconsistent with line transfers")
+	}
+}
+
+func TestGraphicionadoSequentialStreamsUtilizeWell(t *testing.T) {
+	// CC activates everything: the edge stream covers the whole CSR, so
+	// utilization should be high (sequential streaming).
+	g := testGraph(t)
+	res, err := Run(DefaultConfig(), g, algorithms.NewConnectedComponents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization < 0.5 {
+		t.Errorf("utilization = %.2f, want ≥ 0.5 for sequential edge streaming", res.Utilization)
+	}
+}
+
+func TestGraphicionadoConfigValidation(t *testing.T) {
+	g, _ := gen.Chain(4, false)
+	muts := []func(*Config){
+		func(c *Config) { c.Streams = 0 },
+		func(c *Config) { c.PrefetchLines = 0 },
+		func(c *Config) { c.ClockHz = 0 },
+		func(c *Config) { c.MaxCycles = 0 },
+		func(c *Config) { c.MaxIterations = 0 },
+	}
+	for i, mut := range muts {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if _, err := Run(cfg, g, algorithms.NewBFS(0)); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	empty, _ := graph.FromEdges(0, nil, false)
+	if _, err := Run(DefaultConfig(), empty, algorithms.NewBFS(0)); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestGraphicionadoMoreEdgeTraversalsThanAsync(t *testing.T) {
+	// BSP re-streams active vertices every iteration without lookahead;
+	// edge traversals must be at least the oracle's (which coalesces per
+	// vertex activation).
+	g := testGraph(t)
+	res, err := Run(DefaultConfig(), g, algorithms.NewConnectedComponents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := algorithms.Solve(g, algorithms.NewConnectedComponents())
+	if res.EdgesTraversed < oracle.Emitted {
+		t.Errorf("BSP traversed %d edges, less than coalescing worklist %d",
+			res.EdgesTraversed, oracle.Emitted)
+	}
+}

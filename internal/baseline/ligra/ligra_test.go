@@ -1,0 +1,241 @@
+package ligra
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/graph"
+	"graphpulse/internal/graph/gen"
+)
+
+// bestRoot returns the max-out-degree vertex, so source-rooted algorithms
+// have nontrivial traversals on shuffled R-MAT graphs.
+func bestRoot(g *graph.CSR) graph.VertexID {
+	best, deg := graph.VertexID(0), -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(graph.VertexID(v)); d > deg {
+			best, deg = graph.VertexID(v), d
+		}
+	}
+	return best
+}
+
+func testGraph(t testing.TB) *graph.CSR {
+	t.Helper()
+	g, err := gen.RMAT(gen.RMATParams{
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05, Scale: 11, EdgeFactor: 8,
+		Weighted: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func assertMatch(t *testing.T, label string, got, want []float64, tol float64) {
+	t.Helper()
+	bad := 0
+	for v := range want {
+		a, b := got[v], want[v]
+		if a == b || (math.IsInf(a, 1) && math.IsInf(b, 1)) || (math.IsInf(a, -1) && math.IsInf(b, -1)) {
+			continue
+		}
+		if math.Abs(a-b) > tol {
+			bad++
+			if bad <= 3 {
+				t.Errorf("%s: vertex %d = %g, want %g", label, v, a, b)
+			}
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%s: %d mismatches", label, bad)
+	}
+}
+
+func TestLigraMatchesOracle(t *testing.T) {
+	g := testGraph(t)
+	for _, dir := range []Direction{Auto, PushOnly, PullOnly} {
+		cfg := DefaultConfig()
+		cfg.Direction = dir
+		e := New(cfg, g)
+		root := bestRoot(g)
+		cases := []struct {
+			alg  algorithms.Algorithm
+			want []float64
+			tol  float64
+		}{
+			{algorithms.NewBFS(root), algorithms.BFSLevels(g, root), 0},
+			{algorithms.NewSSSP(root), algorithms.DijkstraSSSP(g, root), 1e-9},
+			{algorithms.NewConnectedComponents(), algorithms.MaxLabelFixedPoint(g), 0},
+			{algorithms.NewSSWP(root), algorithms.WidestPath(g, root), 1e-9},
+		}
+		for _, tc := range cases {
+			res := e.Run(tc.alg)
+			assertMatch(t, tc.alg.Name(), res.Values, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestLigraPageRank(t *testing.T) {
+	g := testGraph(t)
+	pr := algorithms.NewPageRankDelta()
+	// BSP applies sub-threshold deltas one iteration at a time, dropping
+	// more residual mass than the coalescing engines; tighten the threshold
+	// so the comparison tolerance stays meaningful.
+	pr.Threshold = 1e-6
+	want := algorithms.PageRankPower(g, pr.Alpha, 1e-12, 10_000)
+	res := New(DefaultConfig(), g).Run(pr)
+	assertMatch(t, "pagerank", res.Values, want, 5e-3)
+}
+
+func TestLigraAdsorption(t *testing.T) {
+	g := testGraph(t).NormalizeInbound()
+	ad := algorithms.NewAdsorption()
+	ad.Threshold = 1e-6
+	want := algorithms.AdsorptionFixedPoint(g, ad, 1e-12, 10_000)
+	res := New(DefaultConfig(), g).Run(ad)
+	assertMatch(t, "adsorption", res.Values, want, 5e-3)
+}
+
+func TestLigraSingleThreadMatchesParallel(t *testing.T) {
+	g := testGraph(t)
+	one := DefaultConfig()
+	one.Threads = 1
+	many := DefaultConfig()
+	many.Threads = 8
+	root := bestRoot(g)
+	a := New(one, g).Run(algorithms.NewSSSP(root))
+	b := New(many, g).Run(algorithms.NewSSSP(root))
+	assertMatch(t, "threads", b.Values, a.Values, 1e-9)
+}
+
+func TestLigraDirectionOptimization(t *testing.T) {
+	// CC activates the whole graph: direction optimization must pick pull
+	// for at least one iteration; BFS from a single source starts sparse,
+	// so iteration 1 must push.
+	g := testGraph(t)
+	e := New(DefaultConfig(), g)
+	cc := e.Run(algorithms.NewConnectedComponents())
+	if cc.PullIterations == 0 {
+		t.Errorf("CC used no pull iterations (push=%d)", cc.PushIterations)
+	}
+	bfs := e.Run(algorithms.NewBFS(bestRoot(g)))
+	if bfs.PushIterations == 0 {
+		t.Errorf("BFS used no push iterations (pull=%d)", bfs.PullIterations)
+	}
+}
+
+func TestLigraAccessStats(t *testing.T) {
+	g := testGraph(t)
+	push := DefaultConfig()
+	push.Direction = PushOnly
+	pull := DefaultConfig()
+	pull.Direction = PullOnly
+	e1 := New(push, g)
+	e2 := New(pull, g)
+	alg := algorithms.NewConnectedComponents
+	rPush := e1.Run(alg())
+	rPull := e2.Run(alg())
+	// Table I: push performs atomic random writes; pull performs random
+	// reads and no atomics on vertex data.
+	if rPush.Access.AtomicUpdates == 0 {
+		t.Error("push recorded no atomic updates")
+	}
+	if rPull.Access.AtomicUpdates != 0 {
+		t.Errorf("pull recorded %d atomic updates, want 0", rPull.Access.AtomicUpdates)
+	}
+	if rPull.Access.RandomReads <= rPush.Access.RandomReads {
+		t.Errorf("pull random reads (%d) not above push (%d)",
+			rPull.Access.RandomReads, rPush.Access.RandomReads)
+	}
+	if rPush.Access.RandomWrites <= rPull.Access.RandomWrites {
+		t.Errorf("push random writes (%d) not above pull (%d)",
+			rPush.Access.RandomWrites, rPull.Access.RandomWrites)
+	}
+}
+
+func TestLigraEmptyFrontierTerminates(t *testing.T) {
+	// Root with no out-edges: one iteration, then done.
+	g, err := graph.FromEdges(3, []graph.Edge{{Src: 1, Dst: 2, Weight: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := New(DefaultConfig(), g).Run(algorithms.NewBFS(0))
+	if res.Iterations != 1 {
+		t.Errorf("Iterations = %d, want 1", res.Iterations)
+	}
+	if !math.IsInf(res.Values[2], 1) {
+		t.Errorf("unreachable vertex got level %g", res.Values[2])
+	}
+}
+
+func TestLigraEdgesTraversedBounded(t *testing.T) {
+	g := testGraph(t)
+	res := New(DefaultConfig(), g).Run(algorithms.NewBFS(bestRoot(g)))
+	if res.EdgesTraversed == 0 {
+		t.Fatal("no edges traversed")
+	}
+	// BFS settles each vertex once; a pushed vertex scans its out-edges
+	// once, so traversals can't exceed |E| by more than the pull-direction
+	// overhead factor.
+	if res.EdgesTraversed > int64(g.NumEdges())*int64(res.Iterations) {
+		t.Errorf("EdgesTraversed=%d implausibly high", res.EdgesTraversed)
+	}
+}
+
+func TestModelSecondsScalesWithWork(t *testing.T) {
+	g := testGraph(t)
+	e := New(DefaultConfig(), g)
+	small := e.Run(algorithms.NewBFS(bestRoot(g)))
+	big := e.Run(algorithms.NewConnectedComponents())
+	m := PaperXeon()
+	ts, tb := ModelSeconds(small, m), ModelSeconds(big, m)
+	if ts <= 0 || tb <= 0 {
+		t.Fatalf("non-positive modeled times %g, %g", ts, tb)
+	}
+	if tb <= ts {
+		t.Errorf("CC (%g s) modeled faster than BFS (%g s) despite more work", tb, ts)
+	}
+}
+
+func TestModelSecondsComponents(t *testing.T) {
+	m := PaperXeon()
+	res := &Result{Iterations: 10}
+	base := ModelSeconds(res, m)
+	if want := 10 * m.BarrierCost; base != want {
+		t.Errorf("barrier-only time = %g, want %g", base, want)
+	}
+	res.Access.AtomicUpdates = 1_000_000
+	withAtomics := ModelSeconds(res, m)
+	if withAtomics <= base {
+		t.Error("atomics did not increase modeled time")
+	}
+	res2 := &Result{Iterations: 10}
+	res2.Access.SequentialReads = 1_000_000
+	if ModelSeconds(res2, m) <= base {
+		t.Error("sequential traffic did not increase modeled time")
+	}
+	// Zero-core guard.
+	m0 := m
+	m0.Cores = 0
+	if ModelSeconds(res, m0) <= 0 {
+		t.Error("zero cores mishandled")
+	}
+}
+
+func TestModelSecondsSameOrderAsWallClock(t *testing.T) {
+	// Sanity: on this host, the modeled 12-core time should be within two
+	// orders of magnitude of single-host wall time (it is an analytic
+	// model of different hardware, not a profiler).
+	g := testGraph(t)
+	e := New(DefaultConfig(), g)
+	start := time.Now()
+	res := e.Run(algorithms.NewConnectedComponents())
+	wall := time.Since(start).Seconds()
+	modeled := ModelSeconds(res, PaperXeon())
+	if modeled > wall*100 || wall > modeled*10_000 {
+		t.Errorf("modeled %g s vs wall %g s: unreasonably far apart", modeled, wall)
+	}
+}

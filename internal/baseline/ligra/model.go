@@ -1,0 +1,75 @@
+package ligra
+
+// This file provides a first-order analytic timing model for the software
+// baseline, so Figure 10 can be reproduced without depending on the wall
+// clock of whatever host happens to run the benchmark (DESIGN.md §4). The
+// model converts a run's classified memory operations (AccessStats) into
+// seconds on a machine like the paper's 12-core Xeon E5 @ 2.2 GHz.
+//
+// The constants are deliberately coarse, first-principles numbers:
+//
+//   - sequential streams run at the machine's sustained bandwidth;
+//   - random accesses cost DRAM latency divided by the memory-level
+//     parallelism out-of-order cores extract;
+//   - atomic updates to uncached lines are far slower — the paper cites a
+//     CAS being "more than 15 times slower when data is in RAM vs in L1"
+//     (Section II-A) — modeled as a fraction of them missing cache;
+//   - each BSP iteration pays a parallel-barrier cost.
+//
+// The model is validated (loosely) against wall time in tests: it must land
+// within an order of magnitude of the real host, and scale linearly in the
+// operation counts.
+
+// CPUModel holds the machine constants.
+type CPUModel struct {
+	// Cores is the number of worker cores (paper: 12).
+	Cores int
+	// SeqBandwidth is sustained streaming bandwidth, bytes/second.
+	SeqBandwidth float64
+	// RandomLatency is DRAM access latency in seconds.
+	RandomLatency float64
+	// MLP is the average memory-level parallelism per core for random
+	// access streams.
+	MLP float64
+	// AtomicMissPenalty is the extra cost of a CAS on an uncached line.
+	AtomicMissPenalty float64
+	// AtomicMissRate is the fraction of atomics that miss the caches
+	// (graph workloads have near-zero temporal locality, Section II-A).
+	AtomicMissRate float64
+	// BarrierCost is the per-iteration synchronization cost in seconds.
+	BarrierCost float64
+	// WordBytes is the payload size of one vertex/edge operation.
+	WordBytes float64
+}
+
+// PaperXeon models the paper's software platform: a 12-core Intel Xeon
+// E5-2470 class part with 4 DDR3 channels.
+func PaperXeon() CPUModel {
+	return CPUModel{
+		Cores:             12,
+		SeqBandwidth:      40e9,
+		RandomLatency:     80e-9,
+		MLP:               10,
+		AtomicMissPenalty: 60e-9,
+		AtomicMissRate:    0.5,
+		BarrierCost:       5e-6,
+		WordBytes:         8,
+	}
+}
+
+// ModelSeconds estimates the run time of a measured execution on m.
+// Sequential and random traffic are divided across cores (the frontier
+// parallelizes); barriers are serial per iteration.
+func ModelSeconds(res *Result, m CPUModel) float64 {
+	if m.Cores < 1 {
+		m.Cores = 1
+	}
+	a := res.Access
+	seqBytes := float64(a.SequentialReads+a.SequentialWrites) * m.WordBytes
+	seq := seqBytes / m.SeqBandwidth
+	randOps := float64(a.RandomReads + a.RandomWrites)
+	rand := randOps * m.RandomLatency / m.MLP / float64(m.Cores)
+	atomics := float64(a.AtomicUpdates) * m.AtomicMissRate * m.AtomicMissPenalty / float64(m.Cores)
+	barriers := float64(res.Iterations) * m.BarrierCost
+	return seq + rand + atomics + barriers
+}

@@ -1,0 +1,297 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section VI). Each experiment is addressable by the paper's
+// artifact id (fig4, fig8, fig10–fig14, table1–table5, energy) plus
+// repository-specific ablations (slicing, ablation).
+//
+// Results print as plain-text tables: the same rows/series the paper
+// reports, produced from this repository's models. Absolute numbers differ
+// from the paper (different substrate); the shapes — who wins, by roughly
+// what factor, where the crossovers fall — are the reproduction target
+// (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/baseline/graphicionado"
+	"graphpulse/internal/baseline/ligra"
+	"graphpulse/internal/core"
+	"graphpulse/internal/graph"
+	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/graph/partition"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// Tier selects workload scale (gen.Tiny for CI, gen.Mini for real
+	// benchmarking, gen.Full for paper-scale runs).
+	Tier gen.Tier
+	// Datasets filters Table IV workloads by abbreviation (nil = all).
+	Datasets []string
+	// Algorithms filters by short name: pr, ads, sssp, bfs, cc (nil = all).
+	Algorithms []string
+	// Out receives the rendered tables.
+	Out io.Writer
+	// MaxCycles overrides the simulation deadline (0 = config default).
+	MaxCycles uint64
+	// CSVPath, when set, receives the engine sweep as machine-readable CSV
+	// (written once, after the sweep runs).
+	CSVPath string
+}
+
+// AlgorithmNames lists the Figure 10 application order.
+var AlgorithmNames = []string{"pr", "ads", "sssp", "bfs", "cc"}
+
+// algorithmTitle maps short names to the paper's figure captions.
+var algorithmTitle = map[string]string{
+	"pr":   "PageRank-Delta",
+	"ads":  "Adsorption",
+	"sssp": "Single Source Shortest Path",
+	"bfs":  "Breadth-first Search",
+	"cc":   "Connected Components",
+}
+
+// Workload is one prepared dataset×algorithm cell.
+type Workload struct {
+	Dataset   gen.DatasetSpec
+	AlgName   string
+	Graph     *graph.CSR
+	Root      graph.VertexID
+	makeAlg   func() algorithms.Algorithm
+	sliceInto int // >1 forces partitioned execution (TW)
+}
+
+// NewAlgorithm constructs a fresh algorithm instance for the cell (engines
+// must not share instances across runs).
+func (w *Workload) NewAlgorithm() algorithms.Algorithm { return w.makeAlg() }
+
+// datasetFilter returns the selected Table IV specs.
+func datasetFilter(names []string) ([]gen.DatasetSpec, error) {
+	if len(names) == 0 {
+		return gen.Datasets, nil
+	}
+	var out []gen.DatasetSpec
+	for _, n := range names {
+		d, err := gen.DatasetByAbbrev(strings.ToUpper(n))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func algFilter(names []string) ([]string, error) {
+	if len(names) == 0 {
+		return AlgorithmNames, nil
+	}
+	for _, n := range names {
+		if algorithmTitle[n] == "" {
+			return nil, fmt.Errorf("bench: unknown algorithm %q (want pr|ads|sssp|bfs|cc)", n)
+		}
+	}
+	return names, nil
+}
+
+// bestRoot picks the max-out-degree vertex so rooted traversals are
+// nontrivial on shuffled synthetic graphs.
+func bestRoot(g *graph.CSR) graph.VertexID {
+	best, deg := graph.VertexID(0), -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(graph.VertexID(v)); d > deg {
+			best, deg = graph.VertexID(v), d
+		}
+	}
+	return best
+}
+
+// Workloads prepares the dataset×algorithm matrix for opt. Graph
+// generation is deterministic; Adsorption runs on the inbound-normalized
+// copy (Section VI-A). The TW-class workload is marked for 3-slice
+// partitioned execution, as in the paper.
+func Workloads(opt Options) ([]*Workload, error) {
+	specs, err := datasetFilter(opt.Datasets)
+	if err != nil {
+		return nil, err
+	}
+	algs, err := algFilter(opt.Algorithms)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Workload
+	for _, spec := range specs {
+		g, err := spec.Generate(opt.Tier)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Abbrev == "TW" {
+			// The TW-class workload runs partitioned (3 slices, as in the
+			// paper). Real datasets have community structure that keeps the
+			// slice cut low; R-MAT stand-ins do not, so apply the BFS
+			// locality relabeling first — every engine sees the same graph,
+			// so the comparison stays fair.
+			perm := partition.DegreeOrderPermutation(g)
+			if g, err = g.Relabel(perm); err != nil {
+				return nil, err
+			}
+		}
+		var normalized *graph.CSR
+		root := bestRoot(g)
+		for _, a := range algs {
+			w := &Workload{Dataset: spec, AlgName: a, Graph: g, Root: root}
+			if spec.Abbrev == "TW" {
+				w.sliceInto = 3
+			}
+			switch a {
+			case "pr":
+				w.makeAlg = func() algorithms.Algorithm { return algorithms.NewPageRankDelta() }
+			case "ads":
+				if normalized == nil {
+					normalized = g.NormalizeInbound()
+				}
+				w.Graph = normalized
+				w.makeAlg = func() algorithms.Algorithm { return algorithms.NewAdsorption() }
+			case "sssp":
+				w.makeAlg = func() algorithms.Algorithm { return algorithms.NewSSSP(root) }
+			case "bfs":
+				w.makeAlg = func() algorithms.Algorithm { return algorithms.NewBFS(root) }
+			case "cc":
+				w.makeAlg = func() algorithms.Algorithm { return algorithms.NewConnectedComponents() }
+			}
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+// Cell is the measured result of one workload across all engines.
+type Cell struct {
+	Workload *Workload
+
+	LigraSeconds float64
+	// LigraModelSeconds is the analytic 12-core-Xeon estimate
+	// (ligra.ModelSeconds with ligra.PaperXeon), which removes
+	// host-machine variance from the speedup columns.
+	LigraModelSeconds float64
+	LigraIters        int
+
+	Opt  *core.Result
+	Base *core.Result
+	Gion *graphicionado.Result
+}
+
+// Speedups relative to the Ligra wall time on this host.
+func (c *Cell) OptSpeedup() float64  { return c.LigraSeconds / c.Opt.Seconds }
+func (c *Cell) BaseSpeedup() float64 { return c.LigraSeconds / c.Base.Seconds }
+func (c *Cell) GionSpeedup() float64 { return c.LigraSeconds / c.Gion.Seconds }
+
+// Speedups relative to the modeled 12-core Xeon (host-independent).
+func (c *Cell) OptModelSpeedup() float64  { return c.LigraModelSeconds / c.Opt.Seconds }
+func (c *Cell) BaseModelSpeedup() float64 { return c.LigraModelSeconds / c.Base.Seconds }
+func (c *Cell) GionModelSpeedup() float64 { return c.LigraModelSeconds / c.Gion.Seconds }
+
+// Sweep holds the full engine×workload matrix shared by Figures 10–14 and
+// the energy experiment.
+type Sweep struct {
+	Cells []*Cell
+	Tier  gen.Tier
+}
+
+// RunWorkload measures one workload on every engine.
+func RunWorkload(w *Workload, opt Options) (*Cell, error) {
+	cell := &Cell{Workload: w}
+
+	// Software baseline: wall time on the host.
+	start := time.Now()
+	lig := ligra.New(ligra.DefaultConfig(), w.Graph).Run(w.NewAlgorithm())
+	cell.LigraSeconds = time.Since(start).Seconds()
+	cell.LigraModelSeconds = ligra.ModelSeconds(lig, ligra.PaperXeon())
+	cell.LigraIters = lig.Iterations
+
+	mkCfg := func(cfg core.Config) core.Config {
+		if opt.MaxCycles > 0 {
+			cfg.MaxCycles = opt.MaxCycles
+		}
+		if w.sliceInto > 1 {
+			cfg.QueueCapacity = (w.Graph.NumVertices() + w.sliceInto - 1) / w.sliceInto
+		}
+		return cfg
+	}
+	var err error
+	a, err := core.New(mkCfg(core.OptimizedConfig()), w.Graph, w.NewAlgorithm())
+	if err != nil {
+		return nil, err
+	}
+	if cell.Opt, err = a.Run(); err != nil {
+		return nil, fmt.Errorf("bench: %s/%s opt: %w", w.Dataset.Abbrev, w.AlgName, err)
+	}
+	b, err := core.New(mkCfg(core.BaselineConfig()), w.Graph, w.NewAlgorithm())
+	if err != nil {
+		return nil, err
+	}
+	if cell.Base, err = b.Run(); err != nil {
+		return nil, fmt.Errorf("bench: %s/%s base: %w", w.Dataset.Abbrev, w.AlgName, err)
+	}
+	gcfg := graphicionado.DefaultConfig()
+	if opt.MaxCycles > 0 {
+		gcfg.MaxCycles = opt.MaxCycles
+	}
+	if cell.Gion, err = graphicionado.Run(gcfg, w.Graph, w.NewAlgorithm()); err != nil {
+		return nil, fmt.Errorf("bench: %s/%s graphicionado: %w", w.Dataset.Abbrev, w.AlgName, err)
+	}
+	return cell, nil
+}
+
+// RunSweep measures every selected workload on every engine.
+func RunSweep(opt Options) (*Sweep, error) {
+	ws, err := Workloads(opt)
+	if err != nil {
+		return nil, err
+	}
+	sw := &Sweep{Tier: opt.Tier}
+	for _, w := range ws {
+		cell, err := RunWorkload(w, opt)
+		if err != nil {
+			return nil, err
+		}
+		sw.Cells = append(sw.Cells, cell)
+	}
+	return sw, nil
+}
+
+// geomean returns the geometric mean of positive values (0 if none).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// newTable returns a tabwriter over w.
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// sortedKeys returns map keys sorted for stable rendering.
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

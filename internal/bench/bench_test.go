@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"graphpulse/internal/graph/gen"
+)
+
+// smallOptions restricts experiments to one small workload so the test
+// suite exercises every experiment path quickly.
+func smallOptions(buf *bytes.Buffer) Options {
+	return Options{
+		Tier:       gen.Tiny,
+		Datasets:   []string{"WG"},
+		Algorithms: []string{"bfs"},
+		Out:        buf,
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	wantIDs := []string{"table1", "table2", "table3", "table4", "fig4", "fig8",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "table5", "energy", "slicing",
+		"cluster", "ablation"}
+	if len(exps) != len(wantIDs) {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if exps[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, exps[i].ID, id)
+		}
+	}
+	if _, err := ExperimentByID("fig10"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ExperimentByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestWorkloadsMatrix(t *testing.T) {
+	ws, err := Workloads(Options{Tier: gen.Tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 25 {
+		t.Fatalf("workloads = %d, want 5×5", len(ws))
+	}
+	// TW cells are marked for 3-slice execution.
+	for _, w := range ws {
+		if w.Dataset.Abbrev == "TW" && w.sliceInto != 3 {
+			t.Errorf("TW workload sliceInto = %d, want 3", w.sliceInto)
+		}
+		if w.NewAlgorithm() == nil {
+			t.Errorf("%s/%s: nil algorithm", w.Dataset.Abbrev, w.AlgName)
+		}
+	}
+}
+
+func TestWorkloadFilters(t *testing.T) {
+	ws, err := Workloads(Options{Tier: gen.Tiny, Datasets: []string{"lj"}, Algorithms: []string{"pr", "cc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("filtered workloads = %d, want 2", len(ws))
+	}
+	if _, err := Workloads(Options{Datasets: []string{"XX"}}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := Workloads(Options{Algorithms: []string{"zz"}}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestRunWorkloadProducesAllEngines(t *testing.T) {
+	ws, err := Workloads(Options{Tier: gen.Tiny, Datasets: []string{"WG"}, Algorithms: []string{"bfs"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := RunWorkload(ws[0], Options{Tier: gen.Tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Opt == nil || cell.Base == nil || cell.Gion == nil {
+		t.Fatal("missing engine results")
+	}
+	if cell.LigraSeconds <= 0 {
+		t.Error("no Ligra wall time")
+	}
+	if cell.OptSpeedup() <= 0 || cell.BaseSpeedup() <= 0 || cell.GionSpeedup() <= 0 {
+		t.Error("non-positive speedups")
+	}
+	// All engines agree on the answer.
+	for v := range cell.Opt.Values {
+		if cell.Opt.Values[v] != cell.Base.Values[v] || cell.Opt.Values[v] != cell.Gion.Values[v] {
+			t.Fatalf("engines disagree at vertex %d: %g / %g / %g",
+				v, cell.Opt.Values[v], cell.Base.Values[v], cell.Gion.Values[v])
+		}
+	}
+}
+
+func TestRunAllExperimentsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment pass is not short")
+	}
+	var buf bytes.Buffer
+	if err := RunExperiments(nil, smallOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, e := range Experiments() {
+		if !strings.Contains(out, "==== "+e.ID) {
+			t.Errorf("output missing section %s", e.ID)
+		}
+	}
+}
+
+func TestRunSelectedExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiments([]string{"table5"}, smallOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Queue") {
+		t.Error("table5 output missing Queue row")
+	}
+	if err := RunExperiments([]string{"bogus"}, smallOptions(&buf)); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Errorf("geomean(2,8) = %g, want 4", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %g, want 0", g)
+	}
+	if g := geomean([]float64{1, 0}); g != 0 {
+		t.Errorf("geomean with zero = %g, want 0", g)
+	}
+}
+
+func TestBestRoot(t *testing.T) {
+	ws, err := Workloads(Options{Tier: gen.Tiny, Datasets: []string{"WG"}, Algorithms: []string{"bfs"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ws[0]
+	if got := w.Graph.OutDegree(w.Root); got != w.Graph.MaxOutDegree() {
+		t.Errorf("root degree = %d, want max %d", got, w.Graph.MaxOutDegree())
+	}
+}

@@ -1,0 +1,619 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/baseline/ligra"
+	"graphpulse/internal/core"
+	"graphpulse/internal/energy"
+	"graphpulse/internal/graph"
+	"graphpulse/internal/sim"
+)
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the artifact id ("fig10", "table5", …).
+	ID string
+	// Title is the paper's caption, abbreviated.
+	Title string
+	// NeedsSweep marks experiments that consume the shared engine sweep.
+	NeedsSweep bool
+	// Run renders the experiment. sweep is non-nil iff NeedsSweep.
+	Run func(opt Options, sweep *Sweep) error
+}
+
+// Experiments returns the registry in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Access-pattern comparison of processing models", Run: runTable1},
+		{ID: "table2", Title: "Algorithm mapping functions (verified)", Run: runTable2},
+		{ID: "table3", Title: "Device configurations", Run: runTable3},
+		{ID: "table4", Title: "Graph workloads", Run: runTable4},
+		{ID: "fig4", Title: "Events produced vs remaining after coalescing", Run: runFig4},
+		{ID: "fig8", Title: "Degree of lookahead per round", Run: runFig8},
+		{ID: "fig10", Title: "Speedup over Ligra", NeedsSweep: true, Run: runFig10},
+		{ID: "fig11", Title: "Off-chip accesses normalized to Graphicionado", NeedsSweep: true, Run: runFig11},
+		{ID: "fig12", Title: "Fraction of off-chip data utilized", NeedsSweep: true, Run: runFig12},
+		{ID: "fig13", Title: "Cycles per event per execution stage", NeedsSweep: true, Run: runFig13},
+		{ID: "fig14", Title: "Processor/generator time breakdown", NeedsSweep: true, Run: runFig14},
+		{ID: "table5", Title: "Power and area of accelerator components", Run: runTable5},
+		{ID: "energy", Title: "Energy efficiency vs software baseline", NeedsSweep: true, Run: runEnergy},
+		{ID: "slicing", Title: "Large-graph slicing overhead (Section IV-F)", Run: runSlicing},
+		{ID: "cluster", Title: "Multi-accelerator slicing (Section IV-F option b)", Run: runCluster},
+		{ID: "ablation", Title: "Design-choice ablations (coalescing, prefetch, streams)", Run: runAblation},
+	}
+}
+
+// ExperimentByID finds an experiment.
+func ExperimentByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+// ljWorkload prepares the PR-Delta-on-LiveJournal workload Figures 4 and 8
+// are measured on.
+func ljWorkload(opt Options) (*Workload, error) {
+	o := opt
+	o.Datasets = []string{"LJ"}
+	o.Algorithms = []string{"pr"}
+	ws, err := Workloads(o)
+	if err != nil {
+		return nil, err
+	}
+	return ws[0], nil
+}
+
+func runOpt(w *Workload, opt Options) (*core.Result, error) {
+	cfg := core.OptimizedConfig()
+	if opt.MaxCycles > 0 {
+		cfg.MaxCycles = opt.MaxCycles
+	}
+	a, err := core.New(cfg, w.Graph, w.NewAlgorithm())
+	if err != nil {
+		return nil, err
+	}
+	return a.Run()
+}
+
+// ---------------------------------------------------------------- Table I
+
+func runTable1(opt Options, _ *Sweep) error {
+	w, err := ljWorkload(opt)
+	if err != nil {
+		return err
+	}
+	push := ligra.DefaultConfig()
+	push.Direction = ligra.PushOnly
+	pull := ligra.DefaultConfig()
+	pull.Direction = ligra.PullOnly
+	rPush := ligra.New(push, w.Graph).Run(w.NewAlgorithm())
+	rPull := ligra.New(pull, w.Graph).Run(w.NewAlgorithm())
+	gp, err := runOpt(w, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.Out, "Table I — access patterns, %s on %s-class graph (%s tier)\n",
+		algorithmTitle[w.AlgName], w.Dataset.Abbrev, opt.Tier)
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "metric\tPULL\tPUSH\tGraphPulse")
+	fmt.Fprintf(tw, "random reads\t%d\t%d\t%s\n",
+		rPull.Access.RandomReads, rPush.Access.RandomReads, "0 (events carry data)")
+	fmt.Fprintf(tw, "random writes\t%d\t%d\t%s\n",
+		rPull.Access.RandomWrites, rPush.Access.RandomWrites,
+		fmt.Sprintf("%d (coalesced line write-backs)", gp.MemWrites))
+	fmt.Fprintf(tw, "atomic updates\t%d\t%d\t0 (event scheduling)\n",
+		rPull.Access.AtomicUpdates, rPush.Access.AtomicUpdates)
+	fmt.Fprintf(tw, "synchronization\tglobal barrier ×%d\tglobal barrier ×%d\tnone (async rounds ×%d)\n",
+		rPull.Iterations, rPush.Iterations, gp.Rounds)
+	fmt.Fprintf(tw, "active-set tracking\tvertex bitmap\tedge frontier\tnot needed (queue is the active set)\n")
+	return tw.Flush()
+}
+
+// ---------------------------------------------------------------- Table II
+
+func runTable2(opt Options, _ *Sweep) error {
+	fmt.Fprintln(opt.Out, "Table II — algorithm-to-GraphPulse mappings (reduce laws machine-verified)")
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "application\tpropagate(δ)\treduce\tV_init\tΔV_init")
+	rows := []struct {
+		alg                      algorithms.Algorithm
+		prop, red, vinit, dvinit string
+	}{
+		{algorithms.NewPageRankDelta(), "α·E_ij·δ/N(src)", "+", "0", "1-α"},
+		{algorithms.NewAdsorption(), "α_i·E_ij·δ", "+", "0", "β_j·I_j"},
+		{algorithms.NewSSSP(0), "E_ij+δ", "min", "∞", "0 (root); none"},
+		{algorithms.NewBFS(0), "δ+1 (levels; Table II literal: 0)", "min", "∞", "0 (root); none"},
+		{algorithms.NewConnectedComponents(), "δ", "max", "-1", "j"},
+	}
+	samples := []float64{0, 1, 0.25, 7, 1e6, algorithms.Infinity}
+	for _, r := range rows {
+		status := "ok"
+		if err := algorithms.CheckAlgebraicLaws(r.alg, samples); err != nil {
+			status = err.Error()
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t[laws: %s]\n",
+			r.alg.Name(), r.prop, r.red, r.vinit, r.dvinit, status)
+	}
+	return tw.Flush()
+}
+
+// ---------------------------------------------------------------- Table III
+
+func runTable3(opt Options, _ *Sweep) error {
+	fmt.Fprintln(opt.Out, "Table III — device configurations")
+	tw := newTable(opt.Out)
+	oc := core.OptimizedConfig()
+	bc := core.BaselineConfig()
+	lc := ligra.DefaultConfig()
+	fmt.Fprintf(tw, "system\tcompute\ton-chip memory\toff-chip bandwidth\n")
+	fmt.Fprintf(tw, "Software (Ligra-style)\t%d host threads\thost caches\thost DRAM\n", lc.Threads)
+	fmt.Fprintf(tw, "%s\t%d processors ×%d gen streams @1GHz\t64MB queue (%d bins), %d-line scratchpads\t%d× DDR3 channels\n",
+		oc.Name, oc.NumProcessors, oc.StreamsPerProcessor, oc.NumBins, oc.ScratchpadLines, oc.Memory.Channels)
+	fmt.Fprintf(tw, "%s\t%d processors @1GHz (in-processor generation)\t64MB queue (%d bins)\t%d× DDR3 channels\n",
+		bc.Name, bc.NumProcessors, bc.NumBins, bc.Memory.Channels)
+	fmt.Fprintf(tw, "Graphicionado model\t8 streams @1GHz\tunlimited (paper's conservative grant)\t%d× DDR3 channels\n",
+		oc.Memory.Channels)
+	return tw.Flush()
+}
+
+// ---------------------------------------------------------------- Table IV
+
+func runTable4(opt Options, _ *Sweep) error {
+	specs, err := datasetFilter(opt.Datasets)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.Out, "Table IV — graph workloads (synthetic stand-ins at %s tier)\n", opt.Tier)
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "graph\tpaper nodes\tpaper edges\tstand-in nodes\tstand-in edges\tmax deg\tavg deg\tdescription")
+	for _, spec := range specs {
+		g, err := spec.Generate(opt.Tier)
+		if err != nil {
+			return err
+		}
+		st := graph.ComputeStats(g)
+		fmt.Fprintf(tw, "%s(%s)\t%.2fM\t%.2fM\t%d\t%d\t%d\t%.1f\t%s\n",
+			spec.Name, spec.Abbrev,
+			float64(spec.PaperVertices)/1e6, float64(spec.PaperEdges)/1e6,
+			st.Vertices, st.Edges, st.MaxOutDegree, st.AvgOutDegree, spec.Description)
+	}
+	return tw.Flush()
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+func runFig4(opt Options, _ *Sweep) error {
+	w, err := ljWorkload(opt)
+	if err != nil {
+		return err
+	}
+	res, err := runOpt(w, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.Out, "Figure 4 — events produced (pre-coalescing) vs remaining, %s on %s (%s tier)\n",
+		algorithmTitle[w.AlgName], w.Dataset.Abbrev, opt.Tier)
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "round\tproduced\tcoalesced\tremaining-after\televiminated%")
+	var produced, coalesced int64
+	for _, rs := range res.RoundLog {
+		pct := 0.0
+		if rs.Produced > 0 {
+			pct = 100 * float64(rs.Coalesced) / float64(rs.Produced)
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.1f\n", rs.Round, rs.Produced, rs.Coalesced, rs.Remaining, pct)
+		produced += rs.Produced
+		coalesced += rs.Coalesced
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if produced > 0 {
+		fmt.Fprintf(opt.Out, "total: %.1f%% of events eliminated via coalescing (paper: >90%% on LJ)\n",
+			100*float64(coalesced)/float64(produced))
+	}
+	seriesChart(opt.Out, "event population per round", len(res.RoundLog),
+		[]string{"produced", "remaining"}, func(srs, r int) float64 {
+			if srs == 0 {
+				return float64(res.RoundLog[r].Produced)
+			}
+			return float64(res.RoundLog[r].Remaining)
+		}, 72)
+	return nil
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+func runFig8(opt Options, _ *Sweep) error {
+	w, err := ljWorkload(opt)
+	if err != nil {
+		return err
+	}
+	res, err := runOpt(w, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.Out, "Figure 8 — lookahead of events processed per round, %s on %s (%s tier)\n",
+		algorithmTitle[w.AlgName], w.Dataset.Abbrev, opt.Tier)
+	tw := newTable(opt.Out)
+	fmt.Fprint(tw, "round")
+	for _, name := range core.LookaheadBucketNames {
+		fmt.Fprintf(tw, "\t%s", name)
+	}
+	fmt.Fprintln(tw)
+	for _, rs := range res.RoundLog {
+		fmt.Fprintf(tw, "%d", rs.Round)
+		for _, c := range rs.Lookahead {
+			fmt.Fprintf(tw, "\t%d", c)
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	names := make([]string, core.LookaheadBuckets)
+	for i, n := range core.LookaheadBucketNames {
+		names[i] = "lookahead " + n
+	}
+	seriesChart(opt.Out, "lookahead classes per round", len(res.RoundLog), names,
+		func(srs, r int) float64 { return float64(res.RoundLog[r].Lookahead[srs]) }, 72)
+	return nil
+}
+
+// ---------------------------------------------------------------- Figure 10
+
+func runFig10(opt Options, sweep *Sweep) error {
+	threads := ligra.DefaultConfig().Threads
+	fmt.Fprintf(opt.Out, "Figure 10 — speedup over Ligra software baseline (%s tier)\n", sweep.Tier)
+	fmt.Fprintf(opt.Out, "(accelerator time simulated at 1 GHz; \"host\" columns divide Ligra wall time on %d\n", threads)
+	fmt.Fprintln(opt.Out, " host thread(s); \"model\" columns use the analytic 12-core-Xeon software model,")
+	fmt.Fprintln(opt.Out, " which is host-independent and the comparison to read against the paper)")
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "app\tgraph\tGP+Opt host\tGP+Opt model\tGP-Base model\tG'nado model\topt vs g'nado")
+	var hostOpts, opts, bases, gions, rel []float64
+	for _, c := range sweep.Cells {
+		fmt.Fprintf(tw, "%s\t%s\t%.1fx\t%.1fx\t%.1fx\t%.1fx\t%.2fx\n",
+			c.Workload.AlgName, c.Workload.Dataset.Abbrev,
+			c.OptSpeedup(), c.OptModelSpeedup(), c.BaseModelSpeedup(), c.GionModelSpeedup(),
+			c.Gion.Seconds/c.Opt.Seconds)
+		hostOpts = append(hostOpts, c.OptSpeedup())
+		opts = append(opts, c.OptModelSpeedup())
+		bases = append(bases, c.BaseModelSpeedup())
+		gions = append(gions, c.GionModelSpeedup())
+		rel = append(rel, c.Gion.Seconds/c.Opt.Seconds)
+	}
+	fmt.Fprintf(tw, "geomean\t\t%.1fx\t%.1fx\t%.1fx\t%.1fx\t%.2fx\n",
+		geomean(hostOpts), geomean(opts), geomean(bases), geomean(gions), geomean(rel))
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(opt.Out, "paper: 28x mean over Ligra (up to 74x); 6.2x mean over Graphicionado")
+	return nil
+}
+
+// ---------------------------------------------------------------- Figure 11
+
+func runFig11(opt Options, sweep *Sweep) error {
+	fmt.Fprintf(opt.Out, "Figure 11 — off-chip accesses of GraphPulse normalized to Graphicionado (%s tier)\n", sweep.Tier)
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "app\tgraph\tGP accesses\tG'nado accesses\tnormalized")
+	var ratios []float64
+	for _, c := range sweep.Cells {
+		r := float64(c.Opt.OffChipAccesses()) / float64(c.Gion.OffChipAccesses())
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.2f\n",
+			c.Workload.AlgName, c.Workload.Dataset.Abbrev,
+			c.Opt.OffChipAccesses(), c.Gion.OffChipAccesses(), r)
+		ratios = append(ratios, r)
+	}
+	fmt.Fprintf(tw, "geomean\t\t\t\t%.2f\n", geomean(ratios))
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(opt.Out, "paper: GraphPulse needs 54% less off-chip traffic on average (ratio ≈ 0.46)")
+	return nil
+}
+
+// ---------------------------------------------------------------- Figure 12
+
+func runFig12(opt Options, sweep *Sweep) error {
+	fmt.Fprintf(opt.Out, "Figure 12 — fraction of off-chip data utilized (%s tier)\n", sweep.Tier)
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "app\tgraph\tGraphPulse\tGraphPulse-Base\tGraphicionado")
+	for _, c := range sweep.Cells {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.2f\n",
+			c.Workload.AlgName, c.Workload.Dataset.Abbrev,
+			c.Opt.Utilization, c.Base.Utilization, c.Gion.Utilization)
+	}
+	return tw.Flush()
+}
+
+// ---------------------------------------------------------------- Figure 13
+
+func runFig13(opt Options, sweep *Sweep) error {
+	fmt.Fprintf(opt.Out, "Figure 13 — mean cycles per event per execution stage, chronological (%s tier)\n", sweep.Tier)
+	tw := newTable(opt.Out)
+	fmt.Fprint(tw, "app\tgraph")
+	for _, s := range core.StageNames {
+		fmt.Fprintf(tw, "\t%s", s)
+	}
+	fmt.Fprintln(tw)
+	for _, c := range sweep.Cells {
+		fmt.Fprintf(tw, "%s\t%s", c.Workload.AlgName, c.Workload.Dataset.Abbrev)
+		for _, s := range core.StageNames {
+			fmt.Fprintf(tw, "\t%.1f", c.Opt.StageMeans[s])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// ---------------------------------------------------------------- Figure 14
+
+func runFig14(opt Options, sweep *Sweep) error {
+	fmt.Fprintf(opt.Out, "Figure 14 — fraction of unit time per state: processors (left), generators (right) (%s tier)\n", sweep.Tier)
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "app\tgraph\tP:vertex-read\tP:process\tP:stalling\tP:idle\tG:edge-read\tG:generate\tG:idle")
+	for _, c := range sweep.Cells {
+		p, g := c.Opt.ProcBreakdown, c.Opt.GenBreakdown
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			c.Workload.AlgName, c.Workload.Dataset.Abbrev,
+			p["vertex_read"], p["process"], p["stalling"], p["idle"],
+			g["edge_read"], g["generate"], g["idle"])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(opt.Out, "paper: generators ~80% edge reads; processors ~70% stalling on generators")
+	return nil
+}
+
+// ---------------------------------------------------------------- Table V
+
+func runTable5(opt Options, _ *Sweep) error {
+	fmt.Fprintln(opt.Out, "Table V — power and area of the accelerator components (published constants)")
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "component\t#\tstatic mW\tdynamic mW\ttotal mW\tarea mm²")
+	for _, c := range energy.TableV() {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.1f\t%.2f\n",
+			c.Name, c.Units, c.StaticMW, c.DynamicMW, c.TotalMW(), c.AreaMM2)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	rows := energy.TableV()
+	fmt.Fprintf(opt.Out, "total power %.2f W (queue-dominated); total area %.1f mm²; logic-only area %.2f mm²\n",
+		energy.AcceleratorPowerWatts(rows, 1), energy.TotalAreaMM2(rows),
+		rows[2].AreaMM2+rows[3].AreaMM2)
+	return nil
+}
+
+// ---------------------------------------------------------------- Energy
+
+func runEnergy(opt Options, sweep *Sweep) error {
+	fmt.Fprintf(opt.Out, "Energy efficiency vs software baseline (Section VI-C, %s tier)\n", sweep.Tier)
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "app\tgraph\taccel J\tCPU J (modeled 12-core)\tefficiency")
+	var ratios []float64
+	rows := energy.TableV()
+	for _, c := range sweep.Cells {
+		aj := energy.AcceleratorEnergyJoules(rows, c.Opt.Seconds, 1)
+		cj := energy.CPUEnergyJoules(c.LigraModelSeconds)
+		r := cj / aj
+		fmt.Fprintf(tw, "%s\t%s\t%.3g\t%.3g\t%.0fx\n",
+			c.Workload.AlgName, c.Workload.Dataset.Abbrev, aj, cj, r)
+		ratios = append(ratios, r)
+	}
+	fmt.Fprintf(tw, "geomean\t\t\t\t%.0fx\n", geomean(ratios))
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(opt.Out, "paper: 280x better energy efficiency than the software framework")
+	return nil
+}
+
+// ---------------------------------------------------------------- Slicing
+
+func runSlicing(opt Options, _ *Sweep) error {
+	w, err := ljWorkload(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.Out, "Slicing ablation (Section IV-F) — %s on %s (%s tier)\n",
+		algorithmTitle[w.AlgName], w.Dataset.Abbrev, opt.Tier)
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "slices\tcycles\tslowdown\tspilled events\toff-chip accesses\tswitches")
+	var base uint64
+	for _, slices := range []int{1, 2, 3, 4} {
+		cfg := core.OptimizedConfig()
+		if opt.MaxCycles > 0 {
+			cfg.MaxCycles = opt.MaxCycles
+		}
+		if slices > 1 {
+			cfg.QueueCapacity = (w.Graph.NumVertices() + slices - 1) / slices
+		}
+		a, err := core.New(cfg, w.Graph, w.NewAlgorithm())
+		if err != nil {
+			return err
+		}
+		res, err := a.Run()
+		if err != nil {
+			return err
+		}
+		if slices == 1 {
+			base = res.Cycles
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.2fx\t%d\t%d\t%d\n",
+			res.Slices, res.Cycles, float64(res.Cycles)/float64(base),
+			res.SpilledEvents, res.OffChipAccesses(), res.SliceSwitches)
+	}
+	return tw.Flush()
+}
+
+// ---------------------------------------------------------------- Cluster
+
+func runCluster(opt Options, _ *Sweep) error {
+	w, err := ljWorkload(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.Out, "Multi-accelerator slicing (Section IV-F option b) — %s on %s (%s tier)\n",
+		algorithmTitle[w.AlgName], w.Dataset.Abbrev, opt.Tier)
+	fmt.Fprintln(opt.Out, "single-chip time-multiplexed slices vs N chips streaming events in real time")
+	single, err := runOpt(w, opt)
+	if err != nil {
+		return err
+	}
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "system\tcycles\tvs 1 chip\tinter-chip events\toff-chip accesses")
+	fmt.Fprintf(tw, "1 chip, 1 slice\t%d\t1.00x\t0\t%d\n", single.Cycles, single.OffChipAccesses())
+	for _, chips := range []int{2, 4} {
+		ccfg := core.DefaultClusterConfig()
+		ccfg.Chips = chips
+		if opt.MaxCycles > 0 {
+			ccfg.Chip.MaxCycles = opt.MaxCycles
+		}
+		cl, err := core.NewCluster(ccfg, w.Graph, w.NewAlgorithm())
+		if err != nil {
+			return err
+		}
+		res, err := cl.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d chips\t%d\t%.2fx\t%d\t%d\n",
+			chips, res.Cycles, float64(single.Cycles)/float64(res.Cycles),
+			res.InterChipEvents, res.OffChipAccesses)
+	}
+	return tw.Flush()
+}
+
+// ---------------------------------------------------------------- Ablation
+
+func runAblation(opt Options, _ *Sweep) error {
+	w, err := ljWorkload(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.Out, "Design ablations — %s on %s (%s tier)\n",
+		algorithmTitle[w.AlgName], w.Dataset.Abbrev, opt.Tier)
+	type variant struct {
+		name string
+		mut  func(*core.Config)
+	}
+	variants := []variant{
+		{"optimized (reference)", func(*core.Config) {}},
+		{"no vertex prefetch", func(c *core.Config) { c.Prefetch = false }},
+		{"coupled generation", func(c *core.Config) {
+			c.DecoupledGeneration = false
+			c.StreamsPerProcessor = 0
+		}},
+		{"1 gen stream/proc", func(c *core.Config) { c.StreamsPerProcessor = 1 }},
+		{"2 gen streams/proc", func(c *core.Config) { c.StreamsPerProcessor = 2 }},
+		{"8 gen streams/proc", func(c *core.Config) { c.StreamsPerProcessor = 8 }},
+		{"16 bins", func(c *core.Config) { c.NumBins = 16 }},
+		{"256 bins", func(c *core.Config) { c.NumBins = 256 }},
+		{"coalescing disabled", func(c *core.Config) { c.CoalesceDisabled = true }},
+		{"1 DRAM channel", func(c *core.Config) { c.Memory.Channels = 1 }},
+		{"densest-first schedule", func(c *core.Config) { c.Schedule = core.ScheduleDensestFirst }},
+		{"bin-row-col mapping", func(c *core.Config) { c.Mapping = core.MapBinRowCol }},
+		{"global termination 1e-2", func(c *core.Config) { c.GlobalProgressThreshold = 1e-2 }},
+	}
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "variant\tcycles\tslowdown\tevents processed\toff-chip accesses")
+	var base uint64
+	for _, v := range variants {
+		cfg := core.OptimizedConfig()
+		if opt.MaxCycles > 0 {
+			cfg.MaxCycles = opt.MaxCycles
+		}
+		v.mut(&cfg)
+		if base != 0 {
+			// Bound every variant to a generous multiple of the reference:
+			// the coalescing-off variant in particular can blow up its event
+			// population without bound (the paper's point — coalescing "is
+			// critical for a practical asynchronous design").
+			cfg.MaxCycles = 50 * base
+		}
+		a, err := core.New(cfg, w.Graph, w.NewAlgorithm())
+		if err != nil {
+			return err
+		}
+		res, err := a.Run()
+		if err != nil {
+			if errors.Is(err, sim.ErrDeadline) {
+				fmt.Fprintf(tw, "%s\tDNF\t>%.0fx\t\t\n", v.name, 50.0)
+				continue
+			}
+			return fmt.Errorf("bench: ablation %q: %w", v.name, err)
+		}
+		if base == 0 {
+			base = res.Cycles
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.2fx\t%d\t%d\n",
+			v.name, res.Cycles, float64(res.Cycles)/float64(base),
+			res.EventsProcessed, res.OffChipAccesses())
+	}
+	return tw.Flush()
+}
+
+// RunExperiments executes the selected experiment ids (nil = all) with a
+// shared sweep for the figures that need one.
+func RunExperiments(ids []string, opt Options) error {
+	if opt.Out == nil {
+		opt.Out = io.Discard
+	}
+	var selected []Experiment
+	if len(ids) == 0 {
+		selected = Experiments()
+	} else {
+		for _, id := range ids {
+			e, err := ExperimentByID(id)
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+	var sweep *Sweep
+	for _, e := range selected {
+		if e.NeedsSweep && sweep == nil {
+			fmt.Fprintf(opt.Out, "[running %s-tier engine sweep × 4 engines]\n", opt.Tier)
+			start := time.Now()
+			var err error
+			sweep, err = RunSweep(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(opt.Out, "[sweep done in %s]\n\n", time.Since(start).Round(time.Millisecond))
+			if opt.CSVPath != "" {
+				f, err := os.Create(opt.CSVPath)
+				if err != nil {
+					return fmt.Errorf("bench: csv: %w", err)
+				}
+				if err := sweep.WriteCSV(f); err != nil {
+					f.Close()
+					return fmt.Errorf("bench: csv: %w", err)
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Fprintf(opt.Out, "[sweep written to %s]\n\n", opt.CSVPath)
+			}
+		}
+		fmt.Fprintf(opt.Out, "==== %s — %s ====\n", e.ID, e.Title)
+		if err := e.Run(opt, sweep); err != nil {
+			return fmt.Errorf("bench: %s: %w", e.ID, err)
+		}
+		fmt.Fprintln(opt.Out)
+	}
+	return nil
+}

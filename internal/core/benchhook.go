@@ -1,0 +1,25 @@
+package core
+
+// BenchQueue exposes the in-place coalescing queue to external
+// micro-benchmarks (bench_test.go) without exporting the internal type.
+type BenchQueue struct {
+	q *coalescingQueue
+}
+
+// NewBenchQueue builds a sum-reduce coalescing queue with the given
+// geometry.
+func NewBenchQueue(capacity, bins, cols int) *BenchQueue {
+	return &BenchQueue{q: newCoalescingQueue(capacity, bins, cols, false,
+		func(a, b float64) float64 { return a + b })}
+}
+
+// InsertForBench inserts one event.
+func (b *BenchQueue) InsertForBench(v uint32, delta float64) {
+	b.q.insert(Event{Target: v, Delta: delta})
+}
+
+// Population returns resident events.
+func (b *BenchQueue) Population() int64 { return b.q.population }
+
+// DrainAllForBench empties the queue (amortizes slot reuse in benchmarks).
+func (b *BenchQueue) DrainAllForBench() int { return len(b.q.drainAll()) }

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/graph/gen"
+)
+
+func clusterConfig(chips int) ClusterConfig {
+	cfg := DefaultClusterConfig()
+	cfg.Chips = chips
+	cfg.Chip.MaxCycles = 200_000_000
+	return cfg
+}
+
+func TestClusterMatchesSingleAccelerator(t *testing.T) {
+	g, err := gen.RMAT(gen.RMATParams{
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05, Scale: 11, EdgeFactor: 8,
+		Weighted: true, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mkAlg := range []func() algorithms.Algorithm{
+		func() algorithms.Algorithm { return algorithms.NewBFS(0) },
+		func() algorithms.Algorithm { return algorithms.NewSSSP(0) },
+		func() algorithms.Algorithm { return algorithms.NewConnectedComponents() },
+	} {
+		single := run(t, testConfigs()[0], g, mkAlg())
+		cl, err := NewCluster(clusterConfig(4), g, mkAlg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Run()
+		if err != nil {
+			t.Fatalf("cluster %s: %v", mkAlg().Name(), err)
+		}
+		if res.Chips != 4 {
+			t.Fatalf("Chips = %d", res.Chips)
+		}
+		if res.InterChipEvents == 0 {
+			t.Error("no events crossed the interconnect")
+		}
+		assertValuesMatch(t, "cluster/"+mkAlg().Name(), res.Values, single.Values, 1e-9)
+	}
+}
+
+func TestClusterPageRank(t *testing.T) {
+	g, err := gen.RMAT(gen.RMATParams{
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05, Scale: 10, EdgeFactor: 10,
+		Weighted: true, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.PageRankPower(g, 0.85, 1e-12, 10_000)
+	cl, err := NewCluster(clusterConfig(3), g, algorithms.NewPageRankDelta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for v := range want {
+		tol := 1e-2 * math.Max(1, math.Abs(want[v]))
+		if math.Abs(res.Values[v]-want[v]) > tol {
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Errorf("%d/%d vertices off the PageRank fixed point", bad, len(want))
+	}
+}
+
+func TestClusterAsyncNoGlobalBarrier(t *testing.T) {
+	// Chips progress independently: total processed events must be split
+	// across chips, and per-chip rounds need not match.
+	g, err := gen.RMAT(gen.RMATParams{
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05, Scale: 11, EdgeFactor: 8,
+		Weighted: true, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(clusterConfig(4), g, algorithms.NewConnectedComponents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withWork int
+	for _, r := range res.PerChip {
+		if r.EventsProcessed > 0 {
+			withWork++
+		}
+	}
+	if withWork < 2 {
+		t.Errorf("only %d chips processed events", withWork)
+	}
+	if res.EventsProcessed == 0 || res.OffChipAccesses == 0 {
+		t.Error("missing aggregate counters")
+	}
+	if res.Seconds <= 0 {
+		t.Error("no timing recorded")
+	}
+}
+
+func TestClusterLinkBandwidthMatters(t *testing.T) {
+	g, err := gen.RMAT(gen.RMATParams{
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05, Scale: 11, EdgeFactor: 10,
+		Weighted: true, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := clusterConfig(4)
+	fast.LinkBandwidth = 16
+	slow := clusterConfig(4)
+	slow.LinkBandwidth = 1
+	clFast, err := NewCluster(fast, g, algorithms.NewConnectedComponents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFast, err := clFast.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clSlow, err := NewCluster(slow, g, algorithms.NewConnectedComponents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSlow, err := clSlow.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSlow.Cycles <= rFast.Cycles {
+		t.Errorf("1-event/cycle link (%d cycles) not slower than 16 (%d cycles)",
+			rSlow.Cycles, rFast.Cycles)
+	}
+	// Same answer regardless of link speed.
+	for v := range rFast.Values {
+		if rFast.Values[v] != rSlow.Values[v] {
+			t.Fatalf("values differ at %d", v)
+		}
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	g, _ := gen.Chain(100, false)
+	bad := clusterConfig(1)
+	if _, err := NewCluster(bad, g, algorithms.NewBFS(0)); err == nil {
+		t.Error("1-chip cluster accepted")
+	}
+	bad2 := clusterConfig(4)
+	bad2.LinkBandwidth = 0
+	if _, err := NewCluster(bad2, g, algorithms.NewBFS(0)); err == nil {
+		t.Error("zero link bandwidth accepted")
+	}
+	bad3 := clusterConfig(4)
+	bad3.EgressDepth = 0
+	if _, err := NewCluster(bad3, g, algorithms.NewBFS(0)); err == nil {
+		t.Error("zero egress depth accepted")
+	}
+	tiny, _ := gen.Chain(2, false)
+	if _, err := NewCluster(clusterConfig(4), tiny, algorithms.NewBFS(0)); err == nil {
+		t.Error("more chips than vertices accepted")
+	}
+}
+
+func TestClusterChainCrossesEveryBoundary(t *testing.T) {
+	// A chain forces strictly sequential cross-chip propagation: the
+	// interconnect must deliver exactly one event per boundary crossing.
+	g, err := gen.Chain(400, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(clusterConfig(4), g, algorithms.NewBFS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InterChipEvents != 3 {
+		t.Errorf("InterChipEvents = %d, want 3 (one per slice boundary)", res.InterChipEvents)
+	}
+	for v := 0; v < 400; v++ {
+		if res.Values[v] != float64(v) {
+			t.Fatalf("BFS level[%d] = %g, want %d", v, res.Values[v], v)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/graph"
+	"graphpulse/internal/graph/gen"
+)
+
+// TestPropertyAcceleratorEqualsOracle drives the full accelerator on
+// randomly generated graphs with randomly chosen monotone algorithms and
+// random configuration knobs, and requires exact agreement with the
+// reference worklist solver every time. This is the repository's strongest
+// single correctness property: any scheduling, coalescing, routing, or
+// slicing bug that affects results will eventually surface here.
+func TestPropertyAcceleratorEqualsOracle(t *testing.T) {
+	f := func(seed int64, shape, algPick, knob uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var g *graph.CSR
+		var err error
+		switch shape % 4 {
+		case 0:
+			g, err = gen.ErdosRenyi(rng.Intn(300)+2, rng.Intn(1500), true, seed)
+		case 1:
+			g, err = gen.RMAT(gen.RMATParams{
+				A: 0.57, B: 0.19, C: 0.19, D: 0.05,
+				Scale: rng.Intn(5) + 4, EdgeFactor: rng.Intn(8) + 1,
+				Weighted: true, Seed: seed,
+			})
+		case 2:
+			g, err = gen.Grid2D(rng.Intn(12)+2, rng.Intn(12)+2, true, seed)
+		default:
+			g, err = gen.Chain(rng.Intn(200)+2, true)
+		}
+		if err != nil {
+			return false
+		}
+		root := graph.VertexID(rng.Intn(g.NumVertices()))
+		var mk func() algorithms.Algorithm
+		switch algPick % 5 {
+		case 0:
+			mk = func() algorithms.Algorithm { return algorithms.NewSSSP(root) }
+		case 1:
+			mk = func() algorithms.Algorithm { return algorithms.NewBFS(root) }
+		case 2:
+			mk = func() algorithms.Algorithm { return algorithms.NewConnectedComponents() }
+		case 3:
+			mk = func() algorithms.Algorithm { return algorithms.NewSSWP(root) }
+		default:
+			mk = func() algorithms.Algorithm { return algorithms.NewReach(root) }
+		}
+		cfg := OptimizedConfig()
+		cfg.MaxCycles = 500_000_000
+		// Randomize architecture knobs that must never change results.
+		switch knob % 6 {
+		case 1:
+			cfg = BaselineConfig()
+			cfg.MaxCycles = 500_000_000
+		case 2:
+			cfg.QueueCapacity = g.NumVertices()/2 + 1 // force slicing
+		case 3:
+			cfg.NumBins = 8
+			cfg.BinCols = 2
+		case 4:
+			cfg.Schedule = ScheduleDensestFirst
+		case 5:
+			cfg.StreamsPerProcessor = 1
+			cfg.GenQueueDepth = 1
+		}
+		a, err := New(cfg, g, mk())
+		if err != nil {
+			return false
+		}
+		res, err := a.Run()
+		if err != nil {
+			return false
+		}
+		want := algorithms.Solve(g, mk())
+		for v := range want.Values {
+			x, y := res.Values[v], want.Values[v]
+			if x == y || (math.IsInf(x, 1) && math.IsInf(y, 1)) || (math.IsInf(x, -1) && math.IsInf(y, -1)) {
+				continue
+			}
+			if math.Abs(x-y) > 1e-9 {
+				t.Logf("seed=%d shape=%d alg=%d knob=%d: vertex %d = %g, want %g",
+					seed, shape%4, algPick%5, knob%6, v, x, y)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableVTotalsMatchPaper(t *testing.T) {
+	rows := TableV()
+	if len(rows) != 4 {
+		t.Fatalf("TableV has %d rows, want 4", len(rows))
+	}
+	// Queue row total: 64 × (116 + 22.2) = 8844.8 mW ≈ paper's 8825 mW
+	// (paper rounds per-unit dynamic power).
+	queue := rows[0]
+	if queue.Name != "Queue" {
+		t.Fatalf("first row = %s", queue.Name)
+	}
+	if got := queue.TotalMW(); math.Abs(got-8825) > 50 {
+		t.Errorf("queue total = %.1f mW, want ≈ 8825", got)
+	}
+	// The queue dominates: "The total energy for the whole event queue
+	// memory is ~9 Watts".
+	total := AcceleratorPowerWatts(rows, 1)
+	if total < 8.5 || total > 9.5 {
+		t.Errorf("total power = %.2f W, want ≈ 9 W", total)
+	}
+	// Non-queue components: "less than 60mW" for network + compute.
+	var rest float64
+	for _, c := range rows[2:] {
+		rest += c.TotalMW()
+	}
+	if rest >= 60 {
+		t.Errorf("network+logic power = %.1f mW, want < 60", rest)
+	}
+}
+
+func TestAreaMatchesPaper(t *testing.T) {
+	// Paper: circuit area 3.5 mm² excluding on-chip memory (network 3.10 +
+	// logic 0.44); with queue + scratchpad ≈ 193.8 mm².
+	rows := TableV()
+	logic := rows[2].AreaMM2 + rows[3].AreaMM2
+	if math.Abs(logic-3.54) > 0.05 {
+		t.Errorf("logic area = %.2f mm², want ≈ 3.5", logic)
+	}
+	if total := TotalAreaMM2(rows); math.Abs(total-193.75) > 1 {
+		t.Errorf("total area = %.2f mm²", total)
+	}
+}
+
+func TestActivityScaling(t *testing.T) {
+	rows := TableV()
+	idle := AcceleratorPowerWatts(rows, 0)
+	busy := AcceleratorPowerWatts(rows, 1)
+	if idle >= busy {
+		t.Errorf("idle %.2f W not below busy %.2f W", idle, busy)
+	}
+	if neg := AcceleratorPowerWatts(rows, -5); neg != idle {
+		t.Errorf("negative activity = %.2f W, want clamp to idle %.2f W", neg, idle)
+	}
+}
+
+func TestEfficiencyRatioReproduces280x(t *testing.T) {
+	// With the paper's 28× mean speedup and these power numbers, the
+	// energy-efficiency ratio should land near the published 280×.
+	accelSeconds := 1.0
+	cpuSeconds := 28.0
+	ratio, err := EfficiencyRatio(nil, accelSeconds, cpuSeconds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 250 || ratio > 320 {
+		t.Errorf("efficiency ratio = %.0f×, want ≈ 280×", ratio)
+	}
+}
+
+func TestEfficiencyRatioErrors(t *testing.T) {
+	if _, err := EfficiencyRatio(nil, 0, 1, 1); err == nil {
+		t.Error("accepted zero accelerator time")
+	}
+	if _, err := EfficiencyRatio(nil, 1, -1, 1); err == nil {
+		t.Error("accepted negative CPU time")
+	}
+}
+
+func TestEnergyJoules(t *testing.T) {
+	rows := TableV()
+	e := AcceleratorEnergyJoules(rows, 2, 1)
+	if want := AcceleratorPowerWatts(rows, 1) * 2; e != want {
+		t.Errorf("energy = %g, want %g", e, want)
+	}
+	if CPUEnergyJoules(2) != 190 {
+		t.Errorf("CPU energy = %g, want 190", CPUEnergyJoules(2))
+	}
+}
+
+func TestNilComponentsDefaultToTableV(t *testing.T) {
+	if got, want := AcceleratorPowerWatts(nil, 1), AcceleratorPowerWatts(TableV(), 1); got != want {
+		t.Errorf("nil components power = %g, want %g", got, want)
+	}
+	if e := AcceleratorEnergyJoules(nil, 1, 1); e <= 0 {
+		t.Errorf("nil components energy = %g", e)
+	}
+}

@@ -1,0 +1,202 @@
+// Package gen generates synthetic graph workloads.
+//
+// The paper evaluates on five real-world graphs (Table IV): Web-Google,
+// Facebook, Wikipedia, LiveJournal, and Twitter. Those datasets are external
+// downloads; this repository substitutes deterministic R-MAT graphs
+// calibrated to each dataset's vertex count, edge count and degree skew
+// (see DESIGN.md §4). All generators are deterministic given a seed, so
+// every experiment is exactly reproducible.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphpulse/internal/graph"
+)
+
+// RMATParams configures an R-MAT (recursive matrix) generator. The four
+// quadrant probabilities must sum to 1. Real-world social/web graphs are
+// well modeled by a≈0.57, b≈c≈0.19, d≈0.05 (Graph500 parameters).
+type RMATParams struct {
+	A, B, C, D float64
+	// Scale is log2 of the vertex count.
+	Scale int
+	// EdgeFactor is edges per vertex.
+	EdgeFactor int
+	// Weighted attaches uniform (0,1] weights to edges.
+	Weighted bool
+	// Seed drives the deterministic PRNG.
+	Seed int64
+	// NoiseAmount perturbs quadrant probabilities per level to avoid
+	// artifact striping; 0.1 is typical, 0 disables.
+	NoiseAmount float64
+}
+
+// Validate checks the parameters.
+func (p RMATParams) Validate() error {
+	sum := p.A + p.B + p.C + p.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("gen: RMAT quadrants sum to %g, want 1", sum)
+	}
+	if p.Scale < 1 || p.Scale > 31 {
+		return fmt.Errorf("gen: RMAT scale %d out of range [1,31]", p.Scale)
+	}
+	if p.EdgeFactor < 1 {
+		return fmt.Errorf("gen: RMAT edge factor %d < 1", p.EdgeFactor)
+	}
+	return nil
+}
+
+// RMAT generates a directed R-MAT graph with 2^Scale vertices and
+// 2^Scale*EdgeFactor edges. The vertex ids are shuffled so that high-degree
+// vertices are not clustered at low ids (matching how real datasets label
+// vertices).
+func RMAT(p RMATParams) (*graph.CSR, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := 1 << p.Scale
+	m := n * p.EdgeFactor
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		src, dst := rmatEdge(rng, p)
+		e := graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst), Weight: 1}
+		if p.Weighted {
+			e.Weight = float32(rng.Float64()*0.99 + 0.01)
+		}
+		edges[i] = e
+	}
+	// Shuffle vertex labels for realistic id locality.
+	perm := rng.Perm(n)
+	for i := range edges {
+		edges[i].Src = graph.VertexID(perm[edges[i].Src])
+		edges[i].Dst = graph.VertexID(perm[edges[i].Dst])
+	}
+	g, err := graph.FromEdges(n, edges, p.Weighted)
+	if err != nil {
+		return nil, err
+	}
+	return g.SortNeighbors(), nil
+}
+
+func rmatEdge(rng *rand.Rand, p RMATParams) (src, dst int) {
+	a, b, c := p.A, p.B, p.C
+	for level := 0; level < p.Scale; level++ {
+		aa, bb, cc := a, b, c
+		if p.NoiseAmount > 0 {
+			// Multiplicative noise per level, renormalized.
+			na := aa * (1 - p.NoiseAmount/2 + p.NoiseAmount*rng.Float64())
+			nb := bb * (1 - p.NoiseAmount/2 + p.NoiseAmount*rng.Float64())
+			nc := cc * (1 - p.NoiseAmount/2 + p.NoiseAmount*rng.Float64())
+			nd := (1 - aa - bb - cc) * (1 - p.NoiseAmount/2 + p.NoiseAmount*rng.Float64())
+			tot := na + nb + nc + nd
+			aa, bb, cc = na/tot, nb/tot, nc/tot
+		}
+		r := rng.Float64()
+		src <<= 1
+		dst <<= 1
+		switch {
+		case r < aa:
+			// top-left: no bits set
+		case r < aa+bb:
+			dst |= 1
+		case r < aa+bb+cc:
+			src |= 1
+		default:
+			src |= 1
+			dst |= 1
+		}
+	}
+	return src, dst
+}
+
+// ErdosRenyi generates a directed G(n, m) random graph with exactly m edges
+// chosen uniformly (with replacement, so rare duplicates possible).
+func ErdosRenyi(n, m int, weighted bool, seed int64) (*graph.CSR, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: n=%d < 1", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		e := graph.Edge{
+			Src:    graph.VertexID(rng.Intn(n)),
+			Dst:    graph.VertexID(rng.Intn(n)),
+			Weight: 1,
+		}
+		if weighted {
+			e.Weight = float32(rng.Float64()*0.99 + 0.01)
+		}
+		edges[i] = e
+	}
+	g, err := graph.FromEdges(n, edges, weighted)
+	if err != nil {
+		return nil, err
+	}
+	return g.SortNeighbors(), nil
+}
+
+// Grid2D generates a width×height 4-neighbor grid (each interior vertex has
+// edges to N/S/E/W). Grids are the adversarial low-skew, high-diameter case
+// for asynchronous engines; road networks behave like them.
+func Grid2D(width, height int, weighted bool, seed int64) (*graph.CSR, error) {
+	if width < 1 || height < 1 {
+		return nil, fmt.Errorf("gen: grid %dx%d invalid", width, height)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := width * height
+	edges := make([]graph.Edge, 0, 4*n)
+	id := func(x, y int) graph.VertexID { return graph.VertexID(y*width + x) }
+	w := func() float32 {
+		if weighted {
+			return float32(rng.Float64()*0.99 + 0.01)
+		}
+		return 1
+	}
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			if x+1 < width {
+				edges = append(edges,
+					graph.Edge{Src: id(x, y), Dst: id(x+1, y), Weight: w()},
+					graph.Edge{Src: id(x+1, y), Dst: id(x, y), Weight: w()})
+			}
+			if y+1 < height {
+				edges = append(edges,
+					graph.Edge{Src: id(x, y), Dst: id(x, y+1), Weight: w()},
+					graph.Edge{Src: id(x, y+1), Dst: id(x, y), Weight: w()})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges, weighted)
+}
+
+// Chain generates a directed path 0→1→…→n-1; the worst case for lookahead
+// (every event depends on the previous round) and a useful test topology.
+func Chain(n int, weighted bool) (*graph.CSR, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: chain n=%d < 1", n)
+	}
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID(v + 1), Weight: 1})
+	}
+	return graph.FromEdges(n, edges, weighted)
+}
+
+// Star generates a hub with n-1 spokes (hub→spoke); the extreme coalescing
+// workload, since every spoke event targets distinct vertices but all
+// reactivations funnel through the hub.
+func Star(n int) (*graph.CSR, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: star n=%d < 1", n)
+	}
+	edges := make([]graph.Edge, 0, 2*(n-1))
+	for v := 1; v < n; v++ {
+		edges = append(edges,
+			graph.Edge{Src: 0, Dst: graph.VertexID(v), Weight: 1},
+			graph.Edge{Src: graph.VertexID(v), Dst: 0, Weight: 1})
+	}
+	return graph.FromEdges(n, edges, false)
+}

@@ -1,0 +1,229 @@
+package gen
+
+import (
+	"testing"
+
+	"graphpulse/internal/graph"
+)
+
+func TestRMATBasic(t *testing.T) {
+	p := RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05, Scale: 10, EdgeFactor: 8, Seed: 42}
+	g, err := RMAT(p)
+	if err != nil {
+		t.Fatalf("RMAT: %v", err)
+	}
+	if got, want := g.NumVertices(), 1024; got != want {
+		t.Errorf("NumVertices = %d, want %d", got, want)
+	}
+	if got, want := g.NumEdges(), 1024*8; got != want {
+		t.Errorf("NumEdges = %d, want %d", got, want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	p := RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05, Scale: 8, EdgeFactor: 4, Seed: 7, NoiseAmount: 0.1}
+	g1, err := RMAT(p)
+	if err != nil {
+		t.Fatalf("RMAT: %v", err)
+	}
+	g2, err := RMAT(p)
+	if err != nil {
+		t.Fatalf("RMAT: %v", err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range g1.Dst {
+		if g1.Dst[i] != g2.Dst[i] {
+			t.Fatalf("same seed produced different graphs at edge %d", i)
+		}
+	}
+}
+
+func TestRMATSeedChangesGraph(t *testing.T) {
+	p := RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05, Scale: 8, EdgeFactor: 4, Seed: 7}
+	g1, _ := RMAT(p)
+	p.Seed = 8
+	g2, _ := RMAT(p)
+	same := true
+	for i := range g1.Dst {
+		if g1.Dst[i] != g2.Dst[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	// A skewed R-MAT graph must have a heavy tail: max degree well above the
+	// average. A uniform random graph of the same size would not.
+	p := RMATParams{A: 0.65, B: 0.15, C: 0.15, D: 0.05, Scale: 12, EdgeFactor: 8, Seed: 3}
+	g, err := RMAT(p)
+	if err != nil {
+		t.Fatalf("RMAT: %v", err)
+	}
+	s := graph.ComputeStats(g)
+	if float64(s.MaxOutDegree) < 10*s.AvgOutDegree {
+		t.Errorf("R-MAT graph not skewed: max degree %d vs avg %.1f", s.MaxOutDegree, s.AvgOutDegree)
+	}
+}
+
+func TestRMATWeighted(t *testing.T) {
+	p := RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05, Scale: 6, EdgeFactor: 4, Weighted: true, Seed: 1}
+	g, err := RMAT(p)
+	if err != nil {
+		t.Fatalf("RMAT: %v", err)
+	}
+	if !g.Weighted() {
+		t.Fatal("weighted RMAT produced unweighted graph")
+	}
+	for i, w := range g.Weight {
+		if w <= 0 || w > 1 {
+			t.Fatalf("edge %d weight %g out of (0,1]", i, w)
+		}
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	bad := []RMATParams{
+		{A: 0.5, B: 0.5, C: 0.5, D: 0.5, Scale: 4, EdgeFactor: 1}, // sum != 1
+		{A: 0.25, B: 0.25, C: 0.25, D: 0.25, Scale: 0, EdgeFactor: 1},
+		{A: 0.25, B: 0.25, C: 0.25, D: 0.25, Scale: 4, EdgeFactor: 0},
+	}
+	for i, p := range bad {
+		if _, err := RMAT(p); err == nil {
+			t.Errorf("case %d: RMAT accepted invalid params %+v", i, p)
+		}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(100, 500, false, 9)
+	if err != nil {
+		t.Fatalf("ErdosRenyi: %v", err)
+	}
+	if g.NumVertices() != 100 || g.NumEdges() != 500 {
+		t.Errorf("got %d/%d, want 100/500", g.NumVertices(), g.NumEdges())
+	}
+	if _, err := ErdosRenyi(0, 5, false, 9); err == nil {
+		t.Error("ErdosRenyi accepted n=0")
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g, err := Grid2D(4, 3, false, 1)
+	if err != nil {
+		t.Fatalf("Grid2D: %v", err)
+	}
+	if g.NumVertices() != 12 {
+		t.Errorf("NumVertices = %d, want 12", g.NumVertices())
+	}
+	// Interior vertex (1,1) = id 5 has 4 neighbors.
+	if got := g.OutDegree(5); got != 4 {
+		t.Errorf("interior degree = %d, want 4", got)
+	}
+	// Corner (0,0) has 2.
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("corner degree = %d, want 2", got)
+	}
+	if _, err := Grid2D(0, 3, false, 1); err == nil {
+		t.Error("Grid2D accepted width=0")
+	}
+}
+
+func TestChain(t *testing.T) {
+	g, err := Chain(5, false)
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	for v := 0; v < 4; v++ {
+		n := g.Neighbors(graph.VertexID(v))
+		if len(n) != 1 || n[0] != graph.VertexID(v+1) {
+			t.Errorf("Neighbors(%d) = %v", v, n)
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	g, err := Star(10)
+	if err != nil {
+		t.Fatalf("Star: %v", err)
+	}
+	if got := g.OutDegree(0); got != 9 {
+		t.Errorf("hub degree = %d, want 9", got)
+	}
+	for v := 1; v < 10; v++ {
+		if got := g.OutDegree(graph.VertexID(v)); got != 1 {
+			t.Errorf("spoke %d degree = %d, want 1", v, got)
+		}
+	}
+}
+
+func TestDatasetSpecs(t *testing.T) {
+	if len(Datasets) != 5 {
+		t.Fatalf("Datasets has %d entries, want 5 (Table IV)", len(Datasets))
+	}
+	wantOrder := []string{"WG", "FB", "WK", "LJ", "TW"}
+	for i, d := range Datasets {
+		if d.Abbrev != wantOrder[i] {
+			t.Errorf("dataset %d = %s, want %s", i, d.Abbrev, wantOrder[i])
+		}
+		if d.Scale(Tiny) >= d.Scale(Mini) || d.Scale(Mini) > d.Scale(Full) {
+			t.Errorf("%s: tier scales not monotone: %d/%d/%d",
+				d.Abbrev, d.Scale(Tiny), d.Scale(Mini), d.Scale(Full))
+		}
+	}
+}
+
+func TestDatasetByAbbrev(t *testing.T) {
+	d, err := DatasetByAbbrev("LJ")
+	if err != nil {
+		t.Fatalf("DatasetByAbbrev: %v", err)
+	}
+	if d.Name != "LiveJournal" {
+		t.Errorf("Name = %s", d.Name)
+	}
+	if _, err := DatasetByAbbrev("XX"); err == nil {
+		t.Error("DatasetByAbbrev accepted unknown abbreviation")
+	}
+}
+
+func TestDatasetGenerateTiny(t *testing.T) {
+	for _, d := range Datasets {
+		g, err := d.Generate(Tiny)
+		if err != nil {
+			t.Fatalf("%s Generate: %v", d.Abbrev, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Abbrev, err)
+		}
+		if !g.Weighted() {
+			t.Errorf("%s: dataset stand-ins must be weighted", d.Abbrev)
+		}
+		wantV := 1 << d.Scale(Tiny)
+		if g.NumVertices() != wantV {
+			t.Errorf("%s: vertices = %d, want %d", d.Abbrev, g.NumVertices(), wantV)
+		}
+		if g.NumEdges() != wantV*d.EdgeFactor {
+			t.Errorf("%s: edges = %d, want %d", d.Abbrev, g.NumEdges(), wantV*d.EdgeFactor)
+		}
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if Tiny.String() != "tiny" || Mini.String() != "mini" || Full.String() != "full" {
+		t.Error("Tier.String mismatch")
+	}
+	if Tier(99).String() == "" {
+		t.Error("unknown tier should still format")
+	}
+}

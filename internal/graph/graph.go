@@ -1,0 +1,356 @@
+// Package graph provides the graph substrate shared by every engine in this
+// repository: an immutable Compressed Sparse Row (CSR) representation with
+// optional edge weights, builders, transposition, relabeling, and
+// degree/statistics helpers.
+//
+// All engines (the GraphPulse accelerator model, the Ligra-style software
+// baseline, and the Graphicionado model) consume the same CSR so that
+// measured differences come from the processing model, not the storage.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// VertexID identifies a vertex. Graphs in this repository are always
+// labeled 0..NumVertices-1.
+type VertexID = uint32
+
+// Edge is a single directed edge with an optional weight. Unweighted graphs
+// carry weight 1.
+type Edge struct {
+	Src    VertexID
+	Dst    VertexID
+	Weight float32
+}
+
+// CSR is an immutable directed graph in Compressed Sparse Row form.
+//
+// The out-edges of vertex v are Dst[RowPtr[v]:RowPtr[v+1]], with matching
+// weights in Weight (nil for unweighted graphs). This mirrors the layout the
+// paper assumes ("The graph is stored in a Compressed Sparse Row format in
+// memory", Section IV-E): RowPtr and Dst are the structures the simulated
+// memory traffic is accounted against.
+type CSR struct {
+	// RowPtr has NumVertices+1 entries; RowPtr[v] is the index of the first
+	// out-edge of v in Dst.
+	RowPtr []uint64
+	// Dst holds destination vertex ids, grouped by source, sources ascending.
+	Dst []VertexID
+	// Weight holds per-edge weights parallel to Dst. nil means the graph is
+	// unweighted and every edge has implicit weight 1.
+	Weight []float32
+}
+
+// NumVertices returns the number of vertices.
+func (g *CSR) NumVertices() int {
+	if len(g.RowPtr) == 0 {
+		return 0
+	}
+	return len(g.RowPtr) - 1
+}
+
+// NumEdges returns the number of directed edges.
+func (g *CSR) NumEdges() int { return len(g.Dst) }
+
+// Weighted reports whether the graph carries explicit edge weights.
+func (g *CSR) Weighted() bool { return g.Weight != nil }
+
+// OutDegree returns the out-degree of v.
+func (g *CSR) OutDegree(v VertexID) int {
+	return int(g.RowPtr[v+1] - g.RowPtr[v])
+}
+
+// Neighbors returns the out-neighbors of v as a subslice of the shared Dst
+// array. Callers must not modify it.
+func (g *CSR) Neighbors(v VertexID) []VertexID {
+	return g.Dst[g.RowPtr[v]:g.RowPtr[v+1]]
+}
+
+// NeighborWeights returns the weights parallel to Neighbors(v). For
+// unweighted graphs it returns nil.
+func (g *CSR) NeighborWeights(v VertexID) []float32 {
+	if g.Weight == nil {
+		return nil
+	}
+	return g.Weight[g.RowPtr[v]:g.RowPtr[v+1]]
+}
+
+// EdgeWeight returns the weight of the i-th edge (index into Dst). For
+// unweighted graphs it returns 1.
+func (g *CSR) EdgeWeight(i uint64) float32 {
+	if g.Weight == nil {
+		return 1
+	}
+	return g.Weight[i]
+}
+
+// EdgeOffset returns the index of the first out-edge of v in Dst. It is the
+// address the simulated edge-memory reader starts streaming from.
+func (g *CSR) EdgeOffset(v VertexID) uint64 { return g.RowPtr[v] }
+
+// MaxOutDegree returns the largest out-degree in the graph (0 for an empty
+// graph).
+func (g *CSR) MaxOutDegree() int {
+	maxDeg := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(VertexID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// Validate checks structural invariants: monotone row pointers, in-range
+// destinations, and weight array parity. It returns a descriptive error for
+// the first violation found.
+func (g *CSR) Validate() error {
+	if len(g.RowPtr) == 0 {
+		if len(g.Dst) != 0 {
+			return errors.New("graph: empty RowPtr with non-empty Dst")
+		}
+		return nil
+	}
+	if g.RowPtr[0] != 0 {
+		return fmt.Errorf("graph: RowPtr[0] = %d, want 0", g.RowPtr[0])
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if g.RowPtr[v+1] < g.RowPtr[v] {
+			return fmt.Errorf("graph: RowPtr not monotone at vertex %d", v)
+		}
+	}
+	if g.RowPtr[n] != uint64(len(g.Dst)) {
+		return fmt.Errorf("graph: RowPtr[n] = %d, want len(Dst) = %d", g.RowPtr[n], len(g.Dst))
+	}
+	for i, d := range g.Dst {
+		if int(d) >= n {
+			return fmt.Errorf("graph: edge %d has out-of-range destination %d (n=%d)", i, d, n)
+		}
+	}
+	if g.Weight != nil && len(g.Weight) != len(g.Dst) {
+		return fmt.Errorf("graph: len(Weight) = %d, want %d", len(g.Weight), len(g.Dst))
+	}
+	return nil
+}
+
+// FromEdges builds a CSR from an arbitrary edge list. Edges may arrive in
+// any order; duplicates are kept (multigraphs are legal inputs for the
+// engines). numVertices must be at least 1 + the largest vertex id used.
+// If weighted is false, per-edge weights are dropped.
+func FromEdges(numVertices int, edges []Edge, weighted bool) (*CSR, error) {
+	if numVertices < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", numVertices)
+	}
+	g := &CSR{RowPtr: make([]uint64, numVertices+1)}
+	for _, e := range edges {
+		if int(e.Src) >= numVertices || int(e.Dst) >= numVertices {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for %d vertices", e.Src, e.Dst, numVertices)
+		}
+		g.RowPtr[e.Src+1]++
+	}
+	for v := 0; v < numVertices; v++ {
+		g.RowPtr[v+1] += g.RowPtr[v]
+	}
+	g.Dst = make([]VertexID, len(edges))
+	if weighted {
+		g.Weight = make([]float32, len(edges))
+	}
+	cursor := make([]uint64, numVertices)
+	copy(cursor, g.RowPtr[:numVertices])
+	for _, e := range edges {
+		i := cursor[e.Src]
+		cursor[e.Src]++
+		g.Dst[i] = e.Dst
+		if weighted {
+			g.Weight[i] = e.Weight
+		}
+	}
+	return g, nil
+}
+
+// Edges materializes the edge list of g in CSR order. It is intended for
+// tests and tools; engines iterate the CSR directly.
+func (g *CSR) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		src := VertexID(v)
+		for i := g.RowPtr[v]; i < g.RowPtr[v+1]; i++ {
+			out = append(out, Edge{Src: src, Dst: g.Dst[i], Weight: g.EdgeWeight(i)})
+		}
+	}
+	return out
+}
+
+// Transpose returns the reverse graph (every edge u→v becomes v→u),
+// preserving weights. Pull-direction engines need it.
+func (g *CSR) Transpose() *CSR {
+	n := g.NumVertices()
+	t := &CSR{RowPtr: make([]uint64, n+1)}
+	for _, d := range g.Dst {
+		t.RowPtr[d+1]++
+	}
+	for v := 0; v < n; v++ {
+		t.RowPtr[v+1] += t.RowPtr[v]
+	}
+	t.Dst = make([]VertexID, len(g.Dst))
+	if g.Weight != nil {
+		t.Weight = make([]float32, len(g.Weight))
+	}
+	cursor := make([]uint64, n)
+	copy(cursor, t.RowPtr[:n])
+	for v := 0; v < n; v++ {
+		for i := g.RowPtr[v]; i < g.RowPtr[v+1]; i++ {
+			d := g.Dst[i]
+			j := cursor[d]
+			cursor[d]++
+			t.Dst[j] = VertexID(v)
+			if g.Weight != nil {
+				t.Weight[j] = g.Weight[i]
+			}
+		}
+	}
+	return t
+}
+
+// Relabel returns a copy of g with vertex v renamed to perm[v]. perm must be
+// a permutation of 0..n-1. The partitioner uses this to make slice vertex
+// ranges contiguous ("We relabel the vertices to make them contiguous within
+// each slice", Section IV-F).
+func (g *CSR) Relabel(perm []VertexID) (*CSR, error) {
+	n := g.NumVertices()
+	if len(perm) != n {
+		return nil, fmt.Errorf("graph: permutation length %d, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if int(p) >= n || seen[p] {
+			return nil, fmt.Errorf("graph: perm is not a permutation (value %d)", p)
+		}
+		seen[p] = true
+	}
+	edges := make([]Edge, 0, g.NumEdges())
+	for v := 0; v < n; v++ {
+		for i := g.RowPtr[v]; i < g.RowPtr[v+1]; i++ {
+			edges = append(edges, Edge{Src: perm[v], Dst: perm[g.Dst[i]], Weight: g.EdgeWeight(i)})
+		}
+	}
+	return FromEdges(n, edges, g.Weight != nil)
+}
+
+// InDegrees returns the in-degree of every vertex.
+func (g *CSR) InDegrees() []uint32 {
+	in := make([]uint32, g.NumVertices())
+	for _, d := range g.Dst {
+		in[d]++
+	}
+	return in
+}
+
+// SortNeighbors returns a copy of g with each adjacency list sorted by
+// destination id (weights follow their edges). Sorted adjacency improves
+// the realism of sequential edge streaming and makes golden tests stable.
+func (g *CSR) SortNeighbors() *CSR {
+	n := g.NumVertices()
+	out := &CSR{
+		RowPtr: append([]uint64(nil), g.RowPtr...),
+		Dst:    append([]VertexID(nil), g.Dst...),
+	}
+	if g.Weight != nil {
+		out.Weight = append([]float32(nil), g.Weight...)
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := out.RowPtr[v], out.RowPtr[v+1]
+		seg := out.Dst[lo:hi]
+		if out.Weight == nil {
+			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+			continue
+		}
+		wseg := out.Weight[lo:hi]
+		idx := make([]int, len(seg))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool { return seg[idx[i]] < seg[idx[j]] })
+		ns := make([]VertexID, len(seg))
+		nw := make([]float32, len(seg))
+		for i, k := range idx {
+			ns[i], nw[i] = seg[k], wseg[k]
+		}
+		copy(seg, ns)
+		copy(wseg, nw)
+	}
+	return out
+}
+
+// Stats summarizes the shape of a graph; Table IV reporting uses it.
+type Stats struct {
+	Vertices     int
+	Edges        int
+	MaxOutDegree int
+	AvgOutDegree float64
+	// DegreeP99 is the 99th-percentile out-degree; skew indicator for
+	// power-law graphs.
+	DegreeP99 int
+	// ZeroOutDegree counts sink vertices.
+	ZeroOutDegree int
+}
+
+// ComputeStats scans g once and returns its Stats.
+func ComputeStats(g *CSR) Stats {
+	n := g.NumVertices()
+	s := Stats{Vertices: n, Edges: g.NumEdges()}
+	if n == 0 {
+		return s
+	}
+	degs := make([]int, n)
+	for v := 0; v < n; v++ {
+		d := g.OutDegree(VertexID(v))
+		degs[v] = d
+		if d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+		}
+		if d == 0 {
+			s.ZeroOutDegree++
+		}
+	}
+	s.AvgOutDegree = float64(s.Edges) / float64(n)
+	sort.Ints(degs)
+	p := int(math.Ceil(0.99*float64(n))) - 1
+	if p < 0 {
+		p = 0
+	}
+	if p >= n {
+		p = n - 1
+	}
+	s.DegreeP99 = degs[p]
+	return s
+}
+
+// NormalizeInbound returns a weighted copy of g in which the weights of
+// each vertex's incoming edges sum to 1 (vertices with no in-edges are
+// unaffected). The paper's Adsorption setup requires this ("normalized the
+// inbound weights for each vertex", Section VI-A); it also guarantees the
+// fixed-point iteration is a contraction.
+func (g *CSR) NormalizeInbound() *CSR {
+	n := g.NumVertices()
+	sum := make([]float64, n)
+	for i, d := range g.Dst {
+		sum[d] += float64(g.EdgeWeight(uint64(i)))
+	}
+	out := &CSR{
+		RowPtr: append([]uint64(nil), g.RowPtr...),
+		Dst:    append([]VertexID(nil), g.Dst...),
+		Weight: make([]float32, len(g.Dst)),
+	}
+	for i, d := range g.Dst {
+		w := float64(g.EdgeWeight(uint64(i)))
+		if sum[d] > 0 {
+			out.Weight[i] = float32(w / sum[d])
+		}
+	}
+	return out
+}

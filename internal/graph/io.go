@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("src dst [weight]"
+// per line, '#' or '%' comments) such as the SNAP text format the paper's
+// datasets ship in. Vertex count is inferred as 1 + max id unless a larger
+// hint is given.
+func ReadEdgeList(r io.Reader, vertexHint int) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	weighted := false
+	maxID := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %d", line, len(fields))
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src: %v", line, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst: %v", line, err)
+		}
+		e := Edge{Src: VertexID(src), Dst: VertexID(dst), Weight: 1}
+		if len(fields) >= 3 {
+			w, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %v", line, err)
+			}
+			e.Weight = float32(w)
+			weighted = true
+		}
+		if int(e.Src) > maxID {
+			maxID = int(e.Src)
+		}
+		if int(e.Dst) > maxID {
+			maxID = int(e.Dst)
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scanning edge list: %w", err)
+	}
+	n := maxID + 1
+	if vertexHint > n {
+		n = vertexHint
+	}
+	return FromEdges(n, edges, weighted)
+}
+
+// WriteEdgeList emits g as a text edge list readable by ReadEdgeList.
+// Weights are emitted only for weighted graphs.
+func WriteEdgeList(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < g.NumVertices(); v++ {
+		for i := g.RowPtr[v]; i < g.RowPtr[v+1]; i++ {
+			var err error
+			if g.Weighted() {
+				_, err = fmt.Fprintf(bw, "%d %d %g\n", v, g.Dst[i], g.Weight[i])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", v, g.Dst[i])
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// binaryMagic marks the binary CSR container format.
+const binaryMagic = 0x47504353 // "GPCS"
+
+// WriteBinary serializes g in a compact little-endian binary container:
+// magic, flags, n, m, RowPtr, Dst, [Weight]. The binary form loads an order
+// of magnitude faster than text, which matters for the TW-class workload.
+func WriteBinary(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	var flags uint32
+	if g.Weighted() {
+		flags |= 1
+	}
+	hdr := []uint64{binaryMagic, uint64(flags), uint64(g.NumVertices()), uint64(g.NumEdges())}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.RowPtr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Dst); err != nil {
+		return err
+	}
+	if g.Weighted() {
+		if err := binary.Write(bw, binary.LittleEndian, g.Weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary loads a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("graph: reading binary header: %w", err)
+		}
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	weighted := hdr[1]&1 != 0
+	n, m := int(hdr[2]), int(hdr[3])
+	g := &CSR{
+		RowPtr: make([]uint64, n+1),
+		Dst:    make([]VertexID, m),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.RowPtr); err != nil {
+		return nil, fmt.Errorf("graph: reading RowPtr: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Dst); err != nil {
+		return nil, fmt.Errorf("graph: reading Dst: %w", err)
+	}
+	if weighted {
+		g.Weight = make([]float32, m)
+		if err := binary.Read(br, binary.LittleEndian, g.Weight); err != nil {
+			return nil, fmt.Errorf("graph: reading Weight: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

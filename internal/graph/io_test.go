@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	input := `# comment
+% another comment
+0 1
+1 2
+
+2 0
+`
+	g, err := ReadEdgeList(strings.NewReader(input), 0)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Errorf("got %d vertices %d edges, want 3/3", g.NumVertices(), g.NumEdges())
+	}
+	if g.Weighted() {
+		t.Error("unweighted input produced weighted graph")
+	}
+}
+
+func TestReadEdgeListWeighted(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1 2.5\n1 0 0.5\n"), 0)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if !g.Weighted() {
+		t.Fatal("weighted input produced unweighted graph")
+	}
+	if got := g.EdgeWeight(g.EdgeOffset(0)); got != 2.5 {
+		t.Errorf("weight = %g, want 2.5", got)
+	}
+}
+
+func TestReadEdgeListVertexHint(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n"), 10)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.NumVertices() != 10 {
+		t.Errorf("NumVertices = %d, want 10 (hint)", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",       // too few fields
+		"x 1\n",     // bad src
+		"0 y\n",     // bad dst
+		"0 1 zzz\n", // bad weight
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), 0); err == nil {
+			t.Errorf("ReadEdgeList(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := smallGraph(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	back, err := ReadEdgeList(&buf, g.NumVertices())
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if !reflect.DeepEqual(g.RowPtr, back.RowPtr) || !reflect.DeepEqual(g.Dst, back.Dst) {
+		t.Error("text round trip changed the graph")
+	}
+}
+
+func TestBinaryRoundTripUnweighted(t *testing.T) {
+	g := smallGraph(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !reflect.DeepEqual(g.RowPtr, back.RowPtr) || !reflect.DeepEqual(g.Dst, back.Dst) {
+		t.Error("binary round trip changed the graph")
+	}
+	if back.Weighted() {
+		t.Error("unweighted graph came back weighted")
+	}
+}
+
+func TestBinaryRoundTripWeighted(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1, 0.25}, {2, 3, 4.5}}, true)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !reflect.DeepEqual(g.Weight, back.Weight) {
+		t.Errorf("weights changed: %v vs %v", g.Weight, back.Weight)
+	}
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Error("ReadBinary accepted zeroed header")
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	g := smallGraph(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 8, 31, len(full) / 2, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("ReadBinary accepted truncation at %d bytes", cut)
+		}
+	}
+}
+
+// TestPropertyBinaryRoundTrip round-trips random graphs through the binary
+// container.
+func TestPropertyBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint16, weighted bool) bool {
+		n := int(nRaw)%64 + 1
+		m := int(mRaw) % 512
+		rng := rand.New(rand.NewSource(seed))
+		g, err := FromEdges(n, randomEdges(rng, n, m), weighted)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(g.RowPtr, back.RowPtr) &&
+			reflect.DeepEqual(g.Dst, back.Dst) &&
+			reflect.DeepEqual(g.Weight, back.Weight)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package mem
+
+// Fetcher turns byte-range accesses into line-granularity requests with
+// backpressure handling. Engines call Fetch to stage a range; Pump (called
+// once per cycle) pushes staged lines into the memory controller as queue
+// space allows; the range's callback fires when its last line completes.
+//
+// The processors, generation units and swap engine all read variable-size
+// records (vertex properties, CSR edge blocks, spilled event pages); this
+// type keeps that splitting logic in one place.
+type Fetcher struct {
+	mem     *Memory
+	pending []lineReq
+}
+
+type lineReq struct {
+	addr   uint64
+	useful uint32
+	write  bool
+	group  *fetchGroup
+}
+
+type fetchGroup struct {
+	remaining int
+	onDone    func()
+}
+
+// NewFetcher wraps mem.
+func NewFetcher(mem *Memory) *Fetcher { return &Fetcher{mem: mem} }
+
+// Fetch stages a read (or write) covering [addr, addr+bytes). usefulBytes
+// says how much of the range is actually consumed; it is distributed across
+// the lines first-to-last. onDone fires when the final line completes; it
+// may be nil. A zero-byte fetch completes immediately.
+func (f *Fetcher) Fetch(addr, bytes uint64, usefulBytes uint64, write bool, onDone func()) {
+	if bytes == 0 {
+		if onDone != nil {
+			onDone()
+		}
+		return
+	}
+	first := addr / LineBytes
+	last := (addr + bytes - 1) / LineBytes
+	g := &fetchGroup{remaining: int(last-first) + 1, onDone: onDone}
+	useful := usefulBytes
+	for line := first; line <= last; line++ {
+		u := uint64(LineBytes)
+		if u > useful {
+			u = useful
+		}
+		useful -= u
+		f.pending = append(f.pending, lineReq{
+			addr:   line * LineBytes,
+			useful: uint32(u),
+			write:  write,
+			group:  g,
+		})
+	}
+}
+
+// Pump pushes staged lines into the memory controller until one is refused.
+// Call once per cycle.
+func (f *Fetcher) Pump() {
+	for len(f.pending) > 0 {
+		lr := f.pending[0]
+		g := lr.group
+		ok := f.mem.Enqueue(Request{
+			Addr:        lr.addr,
+			Write:       lr.write,
+			UsefulBytes: lr.useful,
+			OnComplete: func() {
+				g.remaining--
+				if g.remaining == 0 && g.onDone != nil {
+					g.onDone()
+				}
+			},
+		})
+		if !ok {
+			return
+		}
+		f.pending = f.pending[1:]
+	}
+}
+
+// Idle reports whether the fetcher has no staged lines (in-flight lines may
+// still exist inside the memory controller).
+func (f *Fetcher) Idle() bool { return len(f.pending) == 0 }
+
+// PendingLines returns the number of staged-but-unissued lines.
+func (f *Fetcher) PendingLines() int { return len(f.pending) }

@@ -1,0 +1,151 @@
+package mem
+
+import (
+	"testing"
+
+	"graphpulse/internal/sim"
+)
+
+func TestFetcherZeroBytes(t *testing.T) {
+	f := NewFetcher(New(DefaultConfig()))
+	done := false
+	f.Fetch(0, 0, 0, false, func() { done = true })
+	if !done {
+		t.Error("zero-byte fetch did not complete immediately")
+	}
+	if !f.Idle() {
+		t.Error("fetcher not idle after zero-byte fetch")
+	}
+}
+
+func TestFetcherSingleLine(t *testing.T) {
+	m := New(DefaultConfig())
+	f := NewFetcher(m)
+	done := false
+	f.Fetch(100, 8, 8, false, func() { done = true })
+	if f.PendingLines() != 1 {
+		t.Fatalf("PendingLines = %d, want 1", f.PendingLines())
+	}
+	e := sim.NewEngine()
+	e.Register(m)
+	for !done {
+		f.Pump()
+		e.Step()
+		if e.Cycle() > 10_000 {
+			t.Fatal("fetch never completed")
+		}
+	}
+	if m.Stats().Counter("reads") != 1 {
+		t.Errorf("reads = %d, want 1", m.Stats().Counter("reads"))
+	}
+}
+
+func TestFetcherSpansLines(t *testing.T) {
+	m := New(DefaultConfig())
+	f := NewFetcher(m)
+	// 8 bytes starting 4 bytes before a line boundary → 2 lines.
+	f.Fetch(60, 8, 8, false, nil)
+	if f.PendingLines() != 2 {
+		t.Errorf("PendingLines = %d, want 2", f.PendingLines())
+	}
+	// 130 bytes from 0 → 3 lines.
+	f2 := NewFetcher(m)
+	f2.Fetch(0, 130, 130, false, nil)
+	if f2.PendingLines() != 3 {
+		t.Errorf("PendingLines = %d, want 3", f2.PendingLines())
+	}
+}
+
+func TestFetcherCallbackFiresOnceAfterAllLines(t *testing.T) {
+	m := New(DefaultConfig())
+	f := NewFetcher(m)
+	calls := 0
+	f.Fetch(0, 1024, 1024, false, func() { calls++ })
+	e := sim.NewEngine()
+	e.Register(m)
+	for calls == 0 {
+		f.Pump()
+		e.Step()
+		if e.Cycle() > 100_000 {
+			t.Fatal("fetch never completed")
+		}
+	}
+	// Run extra cycles; callback must not refire.
+	for i := 0; i < 1000; i++ {
+		e.Step()
+	}
+	if calls != 1 {
+		t.Errorf("callback fired %d times, want 1", calls)
+	}
+	if got := m.Stats().Counter("reads"); got != 1024/LineBytes {
+		t.Errorf("reads = %d, want %d", got, 1024/LineBytes)
+	}
+}
+
+func TestFetcherUsefulDistribution(t *testing.T) {
+	m := New(DefaultConfig())
+	f := NewFetcher(m)
+	// 3 lines transferred, only 80 bytes useful: 64 + 16 + 0.
+	done := false
+	f.Fetch(0, 192, 80, false, func() { done = true })
+	e := sim.NewEngine()
+	e.Register(m)
+	for !done {
+		f.Pump()
+		e.Step()
+		if e.Cycle() > 100_000 {
+			t.Fatal("fetch never completed")
+		}
+	}
+	if got := m.Stats().Counter("bytes_useful"); got != 80 {
+		t.Errorf("bytes_useful = %d, want 80", got)
+	}
+	if got := m.Stats().Counter("bytes_transferred"); got != 192 {
+		t.Errorf("bytes_transferred = %d, want 192", got)
+	}
+}
+
+func TestFetcherBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.QueueDepth = 2
+	m := New(cfg)
+	f := NewFetcher(m)
+	done := false
+	f.Fetch(0, 10*LineBytes, 10*LineBytes, false, func() { done = true })
+	f.Pump()
+	if f.PendingLines() != 8 { // 2 accepted, 8 staged
+		t.Errorf("PendingLines after first pump = %d, want 8", f.PendingLines())
+	}
+	e := sim.NewEngine()
+	e.Register(m)
+	for !done {
+		f.Pump()
+		e.Step()
+		if e.Cycle() > 100_000 {
+			t.Fatal("fetch never completed under backpressure")
+		}
+	}
+	if m.Stats().Counter("reads") != 10 {
+		t.Errorf("reads = %d, want 10", m.Stats().Counter("reads"))
+	}
+}
+
+func TestFetcherWrite(t *testing.T) {
+	m := New(DefaultConfig())
+	f := NewFetcher(m)
+	done := false
+	f.Fetch(0, 128, 128, true, func() { done = true })
+	e := sim.NewEngine()
+	e.Register(m)
+	for !done {
+		f.Pump()
+		e.Step()
+		if e.Cycle() > 100_000 {
+			t.Fatal("write never completed")
+		}
+	}
+	if m.Stats().Counter("writes") != 2 {
+		t.Errorf("writes = %d, want 2", m.Stats().Counter("writes"))
+	}
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+type tickCounter struct {
+	name   string
+	ticks  int
+	cycles []uint64
+}
+
+func (t *tickCounter) Name() string { return t.name }
+func (t *tickCounter) Tick(cycle uint64) {
+	t.ticks++
+	t.cycles = append(t.cycles, cycle)
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	a := &tickCounter{name: "a"}
+	b := &tickCounter{name: "b"}
+	e.Register(a)
+	e.Register(b)
+	for i := 0; i < 5; i++ {
+		e.Step()
+	}
+	if e.Cycle() != 5 {
+		t.Errorf("Cycle = %d, want 5", e.Cycle())
+	}
+	if a.ticks != 5 || b.ticks != 5 {
+		t.Errorf("ticks = %d/%d, want 5/5", a.ticks, b.ticks)
+	}
+	for i, c := range a.cycles {
+		if c != uint64(i) {
+			t.Errorf("tick %d saw cycle %d", i, c)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	c := &tickCounter{name: "c"}
+	e.Register(c)
+	err := e.RunUntil(func() bool { return c.ticks >= 10 }, 100)
+	if err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if c.ticks != 10 {
+		t.Errorf("ticks = %d, want 10", c.ticks)
+	}
+}
+
+func TestEngineRunUntilImmediatelyDone(t *testing.T) {
+	e := NewEngine()
+	c := &tickCounter{name: "c"}
+	e.Register(c)
+	if err := e.RunUntil(func() bool { return true }, 10); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if c.ticks != 0 {
+		t.Errorf("done-before-start still ticked %d times", c.ticks)
+	}
+}
+
+func TestEngineDeadline(t *testing.T) {
+	e := NewEngine()
+	err := e.RunUntil(func() bool { return false }, 50)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if e.Cycle() != 50 {
+		t.Errorf("Cycle = %d, want 50", e.Cycle())
+	}
+}
+
+func TestSecondsAt(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 1000; i++ {
+		e.Step()
+	}
+	if got := e.SecondsAt(1e9); got != 1e-6 {
+		t.Errorf("SecondsAt(1GHz) = %g, want 1e-6", got)
+	}
+}

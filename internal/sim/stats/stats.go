@@ -1,0 +1,228 @@
+// Package stats collects the measurements every figure in the paper's
+// evaluation is produced from: counters, bucketed histograms, running
+// means, and per-stage cycle accounting.
+//
+// The simulator is single-threaded by construction, so none of these types
+// use atomics; they are plain fields updated on the hot path and read at
+// report time.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is a named collection of counters and histograms. The zero value is
+// not usable; call NewSet.
+type Set struct {
+	counters   map[string]int64
+	histograms map[string]*Histogram
+	order      []string
+}
+
+// NewSet returns an empty Set.
+func NewSet() *Set {
+	return &Set{
+		counters:   make(map[string]int64),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Add increments counter name by delta, creating it at zero if needed.
+func (s *Set) Add(name string, delta int64) {
+	if _, ok := s.counters[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.counters[name] += delta
+}
+
+// Counter returns the current value of a counter (0 if never written).
+func (s *Set) Counter(name string) int64 { return s.counters[name] }
+
+// Counters returns a copy of all counters.
+func (s *Set) Counters() map[string]int64 {
+	out := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Histogram returns the named histogram, creating it with the given buckets
+// on first use. Subsequent calls ignore the bucket argument.
+func (s *Set) Histogram(name string, buckets []int64) *Histogram {
+	if h, ok := s.histograms[name]; ok {
+		return h
+	}
+	h := NewHistogram(buckets)
+	s.histograms[name] = h
+	return h
+}
+
+// Histograms returns the live histogram map (not a copy); report code only.
+func (s *Set) Histograms() map[string]*Histogram { return s.histograms }
+
+// String renders counters sorted by name, one per line.
+func (s *Set) String() string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-40s %d\n", n, s.counters[n])
+	}
+	return b.String()
+}
+
+// Histogram counts observations into fixed upper-bound buckets plus an
+// overflow bucket, and tracks sum/count/max for mean reporting.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds (inclusive)
+	counts []int64 // len(bounds)+1; last is overflow
+	sum    int64
+	n      int64
+	max    int64
+}
+
+// NewHistogram creates a histogram with the given ascending inclusive upper
+// bounds. Values above the last bound land in the overflow bucket.
+func NewHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Max returns the largest observation (0 if none).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the mean observation (0 if none).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Buckets returns (bound, count) pairs, with the overflow bucket reported
+// under bound -1.
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, 0, len(h.counts))
+	for i, c := range h.counts {
+		b := int64(-1)
+		if i < len(h.bounds) {
+			b = h.bounds[i]
+		}
+		out = append(out, Bucket{UpperBound: b, Count: c})
+	}
+	return out
+}
+
+// Bucket is one histogram bucket. UpperBound -1 marks overflow.
+type Bucket struct {
+	UpperBound int64
+	Count      int64
+}
+
+// StageTimer accumulates cycles spent per named pipeline stage. It backs
+// Figure 13 (chronological per-event stage breakdown) and Figure 14
+// (busy/stall fractions).
+type StageTimer struct {
+	names  []string
+	cycles []int64
+	events []int64
+}
+
+// NewStageTimer creates a timer with the given stage names in display order.
+func NewStageTimer(names ...string) *StageTimer {
+	return &StageTimer{
+		names:  append([]string(nil), names...),
+		cycles: make([]int64, len(names)),
+		events: make([]int64, len(names)),
+	}
+}
+
+// indexOf returns the stage index or panics: stage names are compile-time
+// constants in the models, so a miss is a programming error.
+func (t *StageTimer) indexOf(name string) int {
+	for i, n := range t.names {
+		if n == name {
+			return i
+		}
+	}
+	panic("stats: unknown stage " + name)
+}
+
+// AddCycles accrues cycles to a stage.
+func (t *StageTimer) AddCycles(stage string, cycles int64) {
+	t.cycles[t.indexOf(stage)] += cycles
+}
+
+// AddEvent counts one event completing a stage (denominator for per-event
+// means).
+func (t *StageTimer) AddEvent(stage string) {
+	t.events[t.indexOf(stage)]++
+}
+
+// AddEventCycles is AddCycles + AddEvent in one call.
+func (t *StageTimer) AddEventCycles(stage string, cycles int64) {
+	i := t.indexOf(stage)
+	t.cycles[i] += cycles
+	t.events[i]++
+}
+
+// Stages returns the display-ordered stage names.
+func (t *StageTimer) Stages() []string { return append([]string(nil), t.names...) }
+
+// Cycles returns total cycles accrued to a stage.
+func (t *StageTimer) Cycles(stage string) int64 { return t.cycles[t.indexOf(stage)] }
+
+// MeanCycles returns mean cycles per event for a stage (0 if no events).
+func (t *StageTimer) MeanCycles(stage string) float64 {
+	i := t.indexOf(stage)
+	if t.events[i] == 0 {
+		return 0
+	}
+	return float64(t.cycles[i]) / float64(t.events[i])
+}
+
+// TotalCycles sums cycles across all stages.
+func (t *StageTimer) TotalCycles() int64 {
+	var s int64
+	for _, c := range t.cycles {
+		s += c
+	}
+	return s
+}
+
+// Fractions returns each stage's share of TotalCycles (empty map if zero).
+func (t *StageTimer) Fractions() map[string]float64 {
+	total := t.TotalCycles()
+	out := make(map[string]float64, len(t.names))
+	if total == 0 {
+		return out
+	}
+	for i, n := range t.names {
+		out[n] = float64(t.cycles[i]) / float64(total)
+	}
+	return out
+}
