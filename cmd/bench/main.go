@@ -3,10 +3,15 @@
 // Usage:
 //
 //	bench [-exp fig10,fig11] [-tier tiny|mini|full] [-datasets LJ,WG] [-algs pr,bfs]
+//	      [-parallel N] [-progress]
 //
 // With no -exp it runs every experiment in paper order. Tier controls
 // workload scale: tiny (seconds, default), mini (minutes), full
 // (paper-scale; hours and tens of GB for the TW-class workload).
+// -parallel bounds the sweep's simulated-engine worker pool (default
+// GOMAXPROCS; the host-timed Ligra phase always runs serially), and
+// -progress prints per-cell completion lines to stderr. Table output is
+// byte-identical for every -parallel value.
 package main
 
 import (
@@ -25,8 +30,10 @@ func main() {
 		tierFlag    = flag.String("tier", "tiny", "workload scale: tiny|mini|full")
 		datasetFlag = flag.String("datasets", "", "comma-separated Table IV abbreviations (WG,FB,WK,LJ,TW)")
 		algFlag     = flag.String("algs", "", "comma-separated algorithms (pr,ads,sssp,bfs,cc)")
-		listFlag    = flag.Bool("list", false, "list experiment ids and exit")
-		csvFlag     = flag.String("csv", "", "also write the engine sweep as CSV to this path")
+		listFlag     = flag.Bool("list", false, "list experiment ids and exit")
+		csvFlag      = flag.String("csv", "", "also write the engine sweep as CSV to this path")
+		parallelFlag = flag.Int("parallel", 0, "simulated-engine sweep workers (0 = GOMAXPROCS; ligra phase is always serial)")
+		progressFlag = flag.Bool("progress", false, "print per-cell completion lines with elapsed time to stderr")
 	)
 	flag.Parse()
 
@@ -56,6 +63,10 @@ func main() {
 		Algorithms: splitList(*algFlag),
 		Out:        os.Stdout,
 		CSVPath:    *csvFlag,
+		Parallel:   *parallelFlag,
+	}
+	if *progressFlag {
+		opt.Progress = os.Stderr
 	}
 	if err := bench.RunExperiments(splitList(*expFlag), opt); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)

@@ -14,14 +14,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"text/tabwriter"
-	"time"
 
 	"graphpulse/internal/algorithms"
 	"graphpulse/internal/baseline/graphicionado"
-	"graphpulse/internal/baseline/ligra"
 	"graphpulse/internal/core"
 	"graphpulse/internal/graph"
 	"graphpulse/internal/graph/gen"
@@ -44,6 +44,28 @@ type Options struct {
 	// CSVPath, when set, receives the engine sweep as machine-readable CSV
 	// (written once, after the sweep runs).
 	CSVPath string
+	// Parallel bounds the worker pool running the simulated-engine jobs
+	// (0 = GOMAXPROCS). Host-timed Ligra jobs always run in a dedicated
+	// serial phase regardless — they measure wall time on all host cores,
+	// so concurrency would corrupt Figure 10's "host" columns. Cycle-level
+	// results are identical for every Parallel value.
+	Parallel int
+	// Progress, when non-nil, receives one line per completed job with
+	// elapsed wall time. Line order is completion order, so it is only
+	// deterministic at Parallel=1; keep it off a stream you diff.
+	Progress io.Writer
+
+	// fixedLigraSeconds, when >0, replaces the measured host wall time so
+	// tests can assert byte-identical rendered output across runs.
+	fixedLigraSeconds float64
+}
+
+// workers resolves the simulated-phase pool size.
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // AlgorithmNames lists the Figure 10 application order.
@@ -58,12 +80,19 @@ var algorithmTitle = map[string]string{
 	"cc":   "Connected Components",
 }
 
-// Workload is one prepared dataset×algorithm cell.
+// Workload is one prepared dataset×algorithm cell. Its Graph (and Root)
+// come from the shared gen.Default cache, so the struct must be treated as
+// immutable once built — concurrent jobs read it without synchronization.
 type Workload struct {
-	Dataset   gen.DatasetSpec
-	AlgName   string
-	Graph     *graph.CSR
-	Root      graph.VertexID
+	Dataset gen.DatasetSpec
+	AlgName string
+	Graph   *graph.CSR
+	Root    graph.VertexID
+	// MaxCycles, when >0, overrides the simulation deadline for this cell
+	// only (takes precedence over Options.MaxCycles). Useful for bounding
+	// a single known-slow cell — or, in tests, for forcing sim.ErrDeadline
+	// in one cell to exercise failure isolation.
+	MaxCycles uint64
 	makeAlg   func() algorithms.Algorithm
 	sliceInto int // >1 forces partitioned execution (TW)
 }
@@ -112,10 +141,71 @@ func bestRoot(g *graph.CSR) graph.VertexID {
 	return best
 }
 
+// rootCache memoizes bestRoot per (dataset, tier) so repeated Workloads
+// calls (one per experiment that prepares its own workload) don't re-scan
+// every vertex degree. Safe because the cached graph for a key is fixed.
+var rootCache sync.Map // map[rootKey]graph.VertexID
+
+type rootKey struct {
+	abbrev string
+	tier   gen.Tier
+}
+
+func cachedRoot(spec gen.DatasetSpec, t gen.Tier, g *graph.CSR) graph.VertexID {
+	k := rootKey{spec.Abbrev, t}
+	if v, ok := rootCache.Load(k); ok {
+		return v.(graph.VertexID)
+	}
+	r := bestRoot(g)
+	rootCache.Store(k, r)
+	return r
+}
+
+// benchGraph returns the bench-ready graph for (spec, tier) from the shared
+// cache, along with its traversal root. For the TW-class workload that is
+// the relabeled copy used for sliced execution; for everything else it is
+// the base stand-in.
+func benchGraph(spec gen.DatasetSpec, t gen.Tier) (*graph.CSR, graph.VertexID, error) {
+	g, err := gen.Default.Get(spec, t, "bench", func() (*graph.CSR, error) {
+		g, err := gen.Default.Generate(spec, t)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Abbrev == "TW" {
+			// The TW-class workload runs partitioned (3 slices, as in the
+			// paper). Real datasets have community structure that keeps the
+			// slice cut low; R-MAT stand-ins do not, so apply the BFS
+			// locality relabeling first — every engine sees the same graph,
+			// so the comparison stays fair.
+			perm := partition.DegreeOrderPermutation(g)
+			return g.Relabel(perm)
+		}
+		return g, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return g, cachedRoot(spec, t, g), nil
+}
+
+// normalizedGraph returns the inbound-normalized copy Adsorption runs on
+// (Section VI-A), derived once from the bench graph and cached.
+func normalizedGraph(spec gen.DatasetSpec, t gen.Tier) (*graph.CSR, error) {
+	return gen.Default.Get(spec, t, "bench-inbound", func() (*graph.CSR, error) {
+		g, _, err := benchGraph(spec, t)
+		if err != nil {
+			return nil, err
+		}
+		return g.NormalizeInbound(), nil
+	})
+}
+
 // Workloads prepares the dataset×algorithm matrix for opt. Graph
-// generation is deterministic; Adsorption runs on the inbound-normalized
-// copy (Section VI-A). The TW-class workload is marked for 3-slice
-// partitioned execution, as in the paper.
+// generation is deterministic and memoized in gen.Default, so each
+// Table IV graph (and its inbound-normalized Adsorption copy) is built
+// once per (spec, tier) and shared read-only across all cells. The
+// TW-class workload is marked for 3-slice partitioned execution, as in
+// the paper.
 func Workloads(opt Options) ([]*Workload, error) {
 	specs, err := datasetFilter(opt.Datasets)
 	if err != nil {
@@ -127,23 +217,10 @@ func Workloads(opt Options) ([]*Workload, error) {
 	}
 	var out []*Workload
 	for _, spec := range specs {
-		g, err := spec.Generate(opt.Tier)
+		g, root, err := benchGraph(spec, opt.Tier)
 		if err != nil {
 			return nil, err
 		}
-		if spec.Abbrev == "TW" {
-			// The TW-class workload runs partitioned (3 slices, as in the
-			// paper). Real datasets have community structure that keeps the
-			// slice cut low; R-MAT stand-ins do not, so apply the BFS
-			// locality relabeling first — every engine sees the same graph,
-			// so the comparison stays fair.
-			perm := partition.DegreeOrderPermutation(g)
-			if g, err = g.Relabel(perm); err != nil {
-				return nil, err
-			}
-		}
-		var normalized *graph.CSR
-		root := bestRoot(g)
 		for _, a := range algs {
 			w := &Workload{Dataset: spec, AlgName: a, Graph: g, Root: root}
 			if spec.Abbrev == "TW" {
@@ -153,10 +230,9 @@ func Workloads(opt Options) ([]*Workload, error) {
 			case "pr":
 				w.makeAlg = func() algorithms.Algorithm { return algorithms.NewPageRankDelta() }
 			case "ads":
-				if normalized == nil {
-					normalized = g.NormalizeInbound()
+				if w.Graph, err = normalizedGraph(spec, opt.Tier); err != nil {
+					return nil, err
 				}
-				w.Graph = normalized
 				w.makeAlg = func() algorithms.Algorithm { return algorithms.NewAdsorption() }
 			case "sssp":
 				w.makeAlg = func() algorithms.Algorithm { return algorithms.NewSSSP(root) }
@@ -171,7 +247,10 @@ func Workloads(opt Options) ([]*Workload, error) {
 	return out, nil
 }
 
-// Cell is the measured result of one workload across all engines.
+// Cell is the measured result of one workload across all engines. Each
+// engine's fragment is filled by its own Job; the per-engine error fields
+// record structured failures (sim.ErrDeadline, recovered panics) instead
+// of aborting the sweep, so one bad cell cannot take down a long run.
 type Cell struct {
 	Workload *Workload
 
@@ -185,6 +264,56 @@ type Cell struct {
 	Opt  *core.Result
 	Base *core.Result
 	Gion *graphicionado.Result
+
+	// Per-engine job failures (nil = measured cleanly). These are distinct
+	// struct fields, not a map, so concurrent jobs for the same cell can
+	// record outcomes without synchronization.
+	LigraErr error
+	OptErr   error
+	BaseErr  error
+	GionErr  error
+}
+
+// EngineNames lists the per-cell measurement jobs in canonical phase order:
+// the host-timed software baseline first (serial phase), then the three
+// simulated engines (parallel phase).
+var EngineNames = []string{"ligra", "opt", "base", "gion"}
+
+// engineErr returns the recorded failure for one engine job.
+func (c *Cell) engineErr(engine string) error {
+	switch engine {
+	case "ligra":
+		return c.LigraErr
+	case "opt":
+		return c.OptErr
+	case "base":
+		return c.BaseErr
+	case "gion":
+		return c.GionErr
+	}
+	return fmt.Errorf("bench: unknown engine %q", engine)
+}
+
+// Failed reports whether any engine job for this cell failed. A failed
+// cell renders as "FAILED: <reason>" in the tables and is excluded from
+// geomeans; its result pointers for the failed engines are nil.
+func (c *Cell) Failed() bool {
+	for _, e := range EngineNames {
+		if c.engineErr(e) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// FailureReason describes the first failed engine job ("" if none).
+func (c *Cell) FailureReason() string {
+	for _, e := range EngineNames {
+		if err := c.engineErr(e); err != nil {
+			return fmt.Sprintf("%s: %v", e, err)
+		}
+	}
+	return ""
 }
 
 // Speedups relative to the Ligra wall time on this host.
@@ -204,66 +333,15 @@ type Sweep struct {
 	Tier  gen.Tier
 }
 
-// RunWorkload measures one workload on every engine.
-func RunWorkload(w *Workload, opt Options) (*Cell, error) {
-	cell := &Cell{Workload: w}
-
-	// Software baseline: wall time on the host.
-	start := time.Now()
-	lig := ligra.New(ligra.DefaultConfig(), w.Graph).Run(w.NewAlgorithm())
-	cell.LigraSeconds = time.Since(start).Seconds()
-	cell.LigraModelSeconds = ligra.ModelSeconds(lig, ligra.PaperXeon())
-	cell.LigraIters = lig.Iterations
-
-	mkCfg := func(cfg core.Config) core.Config {
-		if opt.MaxCycles > 0 {
-			cfg.MaxCycles = opt.MaxCycles
+// FailedCells counts cells with at least one failed engine job.
+func (s *Sweep) FailedCells() int {
+	n := 0
+	for _, c := range s.Cells {
+		if c.Failed() {
+			n++
 		}
-		if w.sliceInto > 1 {
-			cfg.QueueCapacity = (w.Graph.NumVertices() + w.sliceInto - 1) / w.sliceInto
-		}
-		return cfg
 	}
-	var err error
-	a, err := core.New(mkCfg(core.OptimizedConfig()), w.Graph, w.NewAlgorithm())
-	if err != nil {
-		return nil, err
-	}
-	if cell.Opt, err = a.Run(); err != nil {
-		return nil, fmt.Errorf("bench: %s/%s opt: %w", w.Dataset.Abbrev, w.AlgName, err)
-	}
-	b, err := core.New(mkCfg(core.BaselineConfig()), w.Graph, w.NewAlgorithm())
-	if err != nil {
-		return nil, err
-	}
-	if cell.Base, err = b.Run(); err != nil {
-		return nil, fmt.Errorf("bench: %s/%s base: %w", w.Dataset.Abbrev, w.AlgName, err)
-	}
-	gcfg := graphicionado.DefaultConfig()
-	if opt.MaxCycles > 0 {
-		gcfg.MaxCycles = opt.MaxCycles
-	}
-	if cell.Gion, err = graphicionado.Run(gcfg, w.Graph, w.NewAlgorithm()); err != nil {
-		return nil, fmt.Errorf("bench: %s/%s graphicionado: %w", w.Dataset.Abbrev, w.AlgName, err)
-	}
-	return cell, nil
-}
-
-// RunSweep measures every selected workload on every engine.
-func RunSweep(opt Options) (*Sweep, error) {
-	ws, err := Workloads(opt)
-	if err != nil {
-		return nil, err
-	}
-	sw := &Sweep{Tier: opt.Tier}
-	for _, w := range ws {
-		cell, err := RunWorkload(w, opt)
-		if err != nil {
-			return nil, err
-		}
-		sw.Cells = append(sw.Cells, cell)
-	}
-	return sw, nil
+	return n
 }
 
 // geomean returns the geometric mean of positive values (0 if none).

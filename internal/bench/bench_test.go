@@ -143,6 +143,32 @@ func TestGeomean(t *testing.T) {
 	}
 }
 
+func TestWorkloadsShareCachedGraphs(t *testing.T) {
+	opt := Options{Tier: gen.Tiny, Datasets: []string{"WG"}, Algorithms: []string{"pr", "ads"}}
+	a, err := Workloads(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Workloads(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Graphs come from the shared gen cache: repeated preparation reuses
+	// the same instances instead of regenerating.
+	if a[0].Graph != b[0].Graph {
+		t.Error("base graph regenerated across Workloads calls")
+	}
+	if a[1].Graph != b[1].Graph {
+		t.Error("normalized Adsorption graph regenerated across Workloads calls")
+	}
+	if a[1].Graph == a[0].Graph {
+		t.Error("Adsorption workload shares the unnormalized graph")
+	}
+	if a[0].Root != b[0].Root {
+		t.Errorf("cached roots differ: %d vs %d", a[0].Root, b[0].Root)
+	}
+}
+
 func TestBestRoot(t *testing.T) {
 	ws, err := Workloads(Options{Tier: gen.Tiny, Datasets: []string{"WG"}, Algorithms: []string{"bfs"}})
 	if err != nil {

@@ -4,11 +4,14 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"os"
 )
 
 // WriteCSV dumps the sweep as machine-readable rows (one per
 // workload) so results can be post-processed or plotted outside the
 // repository. Columns are stable; new ones are appended at the end.
+// Failed cells keep their identity columns, leave the measurement
+// columns empty, and carry the reason in the status column.
 func (s *Sweep) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{
@@ -18,6 +21,7 @@ func (s *Sweep) WriteCSV(w io.Writer) error {
 		"gp_opt_coalesced", "gp_opt_offchip", "gp_opt_utilization",
 		"gp_base_cycles", "gp_base_offchip",
 		"gion_cycles", "gion_iterations", "gion_offchip", "gion_utilization",
+		"status",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -25,13 +29,20 @@ func (s *Sweep) WriteCSV(w io.Writer) error {
 	ff := func(v float64) string { return fmt.Sprintf("%g", v) }
 	fi := func(v int64) string { return fmt.Sprintf("%d", v) }
 	for _, c := range s.Cells {
-		row := []string{
-			s.Tier.String(), c.Workload.Dataset.Abbrev, c.Workload.AlgName,
-			ff(c.LigraSeconds), ff(c.LigraModelSeconds), fi(int64(c.LigraIters)),
-			fi(int64(c.Opt.Cycles)), ff(c.Opt.Seconds), fi(int64(c.Opt.Rounds)), fi(c.Opt.EventsProcessed),
-			fi(c.Opt.EventsCoalesced), fi(c.Opt.OffChipAccesses()), ff(c.Opt.Utilization),
-			fi(int64(c.Base.Cycles)), fi(c.Base.OffChipAccesses()),
-			fi(int64(c.Gion.Cycles)), fi(int64(c.Gion.Iterations)), fi(c.Gion.OffChipAccesses()), ff(c.Gion.Utilization),
+		row := []string{s.Tier.String(), c.Workload.Dataset.Abbrev, c.Workload.AlgName}
+		if c.Failed() {
+			for len(row) < len(header)-1 {
+				row = append(row, "")
+			}
+			row = append(row, "FAILED: "+c.FailureReason())
+		} else {
+			row = append(row,
+				ff(c.LigraSeconds), ff(c.LigraModelSeconds), fi(int64(c.LigraIters)),
+				fi(int64(c.Opt.Cycles)), ff(c.Opt.Seconds), fi(int64(c.Opt.Rounds)), fi(c.Opt.EventsProcessed),
+				fi(c.Opt.EventsCoalesced), fi(c.Opt.OffChipAccesses()), ff(c.Opt.Utilization),
+				fi(int64(c.Base.Cycles)), fi(c.Base.OffChipAccesses()),
+				fi(int64(c.Gion.Cycles)), fi(int64(c.Gion.Iterations)), fi(c.Gion.OffChipAccesses()), ff(c.Gion.Utilization),
+				"ok")
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -39,4 +50,24 @@ func (s *Sweep) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// writeSweepCSV writes the sweep to path. A failed write never leaks a
+// half-written file: the partial output is removed and the error names
+// the path.
+func writeSweepCSV(path string, s *Sweep) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: csv: %w", err)
+	}
+	if err := s.WriteCSV(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("bench: csv %s (partial file removed): %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("bench: csv %s (partial file removed): %w", path, err)
+	}
+	return nil
 }

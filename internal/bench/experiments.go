@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"time"
 
 	"graphpulse/internal/algorithms"
@@ -12,8 +11,16 @@ import (
 	"graphpulse/internal/core"
 	"graphpulse/internal/energy"
 	"graphpulse/internal/graph"
+	"graphpulse/internal/graph/gen"
 	"graphpulse/internal/sim"
 )
+
+// failedRow renders a failed cell's table row: dataset/algorithm columns
+// plus the structured reason, in place of the unmeasurable metrics.
+func failedRow(tw io.Writer, c *Cell) {
+	fmt.Fprintf(tw, "%s\t%s\tFAILED: %s\n",
+		c.Workload.AlgName, c.Workload.Dataset.Abbrev, c.FailureReason())
+}
 
 // Experiment regenerates one paper artifact.
 type Experiment struct {
@@ -176,7 +183,7 @@ func runTable4(opt Options, _ *Sweep) error {
 	tw := newTable(opt.Out)
 	fmt.Fprintln(tw, "graph\tpaper nodes\tpaper edges\tstand-in nodes\tstand-in edges\tmax deg\tavg deg\tdescription")
 	for _, spec := range specs {
-		g, err := spec.Generate(opt.Tier)
+		g, err := gen.Default.Generate(spec, opt.Tier)
 		if err != nil {
 			return err
 		}
@@ -281,6 +288,10 @@ func runFig10(opt Options, sweep *Sweep) error {
 	fmt.Fprintln(tw, "app\tgraph\tGP+Opt host\tGP+Opt model\tGP-Base model\tG'nado model\topt vs g'nado")
 	var hostOpts, opts, bases, gions, rel []float64
 	for _, c := range sweep.Cells {
+		if c.Failed() {
+			failedRow(tw, c)
+			continue
+		}
 		fmt.Fprintf(tw, "%s\t%s\t%.1fx\t%.1fx\t%.1fx\t%.1fx\t%.2fx\n",
 			c.Workload.AlgName, c.Workload.Dataset.Abbrev,
 			c.OptSpeedup(), c.OptModelSpeedup(), c.BaseModelSpeedup(), c.GionModelSpeedup(),
@@ -308,6 +319,10 @@ func runFig11(opt Options, sweep *Sweep) error {
 	fmt.Fprintln(tw, "app\tgraph\tGP accesses\tG'nado accesses\tnormalized")
 	var ratios []float64
 	for _, c := range sweep.Cells {
+		if c.Failed() {
+			failedRow(tw, c)
+			continue
+		}
 		r := float64(c.Opt.OffChipAccesses()) / float64(c.Gion.OffChipAccesses())
 		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.2f\n",
 			c.Workload.AlgName, c.Workload.Dataset.Abbrev,
@@ -329,6 +344,10 @@ func runFig12(opt Options, sweep *Sweep) error {
 	tw := newTable(opt.Out)
 	fmt.Fprintln(tw, "app\tgraph\tGraphPulse\tGraphPulse-Base\tGraphicionado")
 	for _, c := range sweep.Cells {
+		if c.Failed() {
+			failedRow(tw, c)
+			continue
+		}
 		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.2f\n",
 			c.Workload.AlgName, c.Workload.Dataset.Abbrev,
 			c.Opt.Utilization, c.Base.Utilization, c.Gion.Utilization)
@@ -347,6 +366,10 @@ func runFig13(opt Options, sweep *Sweep) error {
 	}
 	fmt.Fprintln(tw)
 	for _, c := range sweep.Cells {
+		if c.Failed() {
+			failedRow(tw, c)
+			continue
+		}
 		fmt.Fprintf(tw, "%s\t%s", c.Workload.AlgName, c.Workload.Dataset.Abbrev)
 		for _, s := range core.StageNames {
 			fmt.Fprintf(tw, "\t%.1f", c.Opt.StageMeans[s])
@@ -363,6 +386,10 @@ func runFig14(opt Options, sweep *Sweep) error {
 	tw := newTable(opt.Out)
 	fmt.Fprintln(tw, "app\tgraph\tP:vertex-read\tP:process\tP:stalling\tP:idle\tG:edge-read\tG:generate\tG:idle")
 	for _, c := range sweep.Cells {
+		if c.Failed() {
+			failedRow(tw, c)
+			continue
+		}
 		p, g := c.Opt.ProcBreakdown, c.Opt.GenBreakdown
 		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
 			c.Workload.AlgName, c.Workload.Dataset.Abbrev,
@@ -405,6 +432,10 @@ func runEnergy(opt Options, sweep *Sweep) error {
 	var ratios []float64
 	rows := energy.TableV()
 	for _, c := range sweep.Cells {
+		if c.Failed() {
+			failedRow(tw, c)
+			continue
+		}
 		aj := energy.AcceleratorEnergyJoules(rows, c.Opt.Seconds, 1)
 		cj := energy.CPUEnergyJoules(c.LigraModelSeconds)
 		r := cj / aj
@@ -587,23 +618,27 @@ func RunExperiments(ids []string, opt Options) error {
 	for _, e := range selected {
 		if e.NeedsSweep && sweep == nil {
 			fmt.Fprintf(opt.Out, "[running %s-tier engine sweep × 4 engines]\n", opt.Tier)
+			if opt.Progress != nil {
+				fmt.Fprintf(opt.Progress, "[sweep: %d workers for simulated engines; ligra phase is serial]\n", opt.workers())
+			}
 			start := time.Now()
 			var err error
 			sweep, err = RunSweep(opt)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(opt.Out, "[sweep done in %s]\n\n", time.Since(start).Round(time.Millisecond))
+			// The elapsed time goes to the progress stream, not Out, so
+			// that Out stays byte-identical across runs and -parallel
+			// settings.
+			if opt.Progress != nil {
+				fmt.Fprintf(opt.Progress, "[sweep done in %s]\n", time.Since(start).Round(time.Millisecond))
+			}
+			if n := sweep.FailedCells(); n > 0 {
+				fmt.Fprintf(opt.Out, "[%d of %d cells FAILED; affected rows are marked below]\n", n, len(sweep.Cells))
+			}
+			fmt.Fprintln(opt.Out)
 			if opt.CSVPath != "" {
-				f, err := os.Create(opt.CSVPath)
-				if err != nil {
-					return fmt.Errorf("bench: csv: %w", err)
-				}
-				if err := sweep.WriteCSV(f); err != nil {
-					f.Close()
-					return fmt.Errorf("bench: csv: %w", err)
-				}
-				if err := f.Close(); err != nil {
+				if err := writeSweepCSV(opt.CSVPath, sweep); err != nil {
 					return err
 				}
 				fmt.Fprintf(opt.Out, "[sweep written to %s]\n\n", opt.CSVPath)

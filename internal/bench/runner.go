@@ -1,0 +1,241 @@
+package bench
+
+// The job-based sweep runner. Every (workload × engine) measurement is a
+// self-contained Job: an immutable *Workload in, one Cell fragment out.
+// Jobs execute in two phases:
+//
+//  1. a dedicated serial phase for the host-timed Ligra baseline — it
+//     measures wall time on all host cores, so running anything alongside
+//     it would corrupt Figure 10's "host" columns;
+//  2. a bounded worker pool (Options.Parallel, default GOMAXPROCS) for the
+//     three simulated engines, which are deterministic, share no mutable
+//     state, and therefore parallelize freely.
+//
+// Cells are allocated up front in canonical workload order and each job
+// writes only its own fragment (distinct struct fields), so the assembled
+// Sweep — and everything rendered from it — is byte-identical to a serial
+// run regardless of worker count or completion order. Failures (including
+// sim.ErrDeadline and recovered panics) are recorded per cell instead of
+// aborting the sweep.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"graphpulse/internal/baseline/graphicionado"
+	"graphpulse/internal/baseline/ligra"
+	"graphpulse/internal/core"
+)
+
+// simEngines are the jobs the parallel phase schedules; "ligra" is handled
+// by the serial phase.
+var simEngines = []string{"opt", "base", "gion"}
+
+// Job is one (workload × engine) measurement. Running it fills the
+// engine's fragment of Cell (or its error field) and touches nothing else.
+type Job struct {
+	Cell *Cell
+	// Engine is one of EngineNames.
+	Engine string
+}
+
+// Run executes the job with panic recovery: a panicking engine is recorded
+// as that cell's failure, never propagated.
+func (j Job) Run(opt Options) {
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		switch j.Engine {
+		case "ligra":
+			return runLigraJob(j.Cell, opt)
+		case "opt":
+			return runOptJob(j.Cell, opt)
+		case "base":
+			return runBaseJob(j.Cell, opt)
+		case "gion":
+			return runGionJob(j.Cell, opt)
+		}
+		return fmt.Errorf("bench: unknown engine %q", j.Engine)
+	}()
+	if err == nil {
+		return
+	}
+	switch j.Engine {
+	case "ligra":
+		j.Cell.LigraErr = err
+	case "opt":
+		j.Cell.OptErr = err
+	case "base":
+		j.Cell.BaseErr = err
+	case "gion":
+		j.Cell.GionErr = err
+	}
+}
+
+// simConfig applies the per-cell overrides shared by both GraphPulse
+// configurations: the cycle deadline (workload override wins over the
+// sweep-wide one) and the slice-forcing queue capacity.
+func simConfig(cfg core.Config, w *Workload, opt Options) core.Config {
+	if opt.MaxCycles > 0 {
+		cfg.MaxCycles = opt.MaxCycles
+	}
+	if w.MaxCycles > 0 {
+		cfg.MaxCycles = w.MaxCycles
+	}
+	if w.sliceInto > 1 {
+		cfg.QueueCapacity = (w.Graph.NumVertices() + w.sliceInto - 1) / w.sliceInto
+	}
+	return cfg
+}
+
+// runLigraJob measures the software baseline: wall time on the host plus
+// the host-independent analytic 12-core-Xeon model derived from the same
+// run's access counts.
+func runLigraJob(c *Cell, opt Options) error {
+	w := c.Workload
+	start := time.Now()
+	lig := ligra.New(ligra.DefaultConfig(), w.Graph).Run(w.NewAlgorithm())
+	c.LigraSeconds = time.Since(start).Seconds()
+	if opt.fixedLigraSeconds > 0 {
+		c.LigraSeconds = opt.fixedLigraSeconds
+	}
+	c.LigraModelSeconds = ligra.ModelSeconds(lig, ligra.PaperXeon())
+	c.LigraIters = lig.Iterations
+	return nil
+}
+
+func runOptJob(c *Cell, opt Options) error {
+	w := c.Workload
+	a, err := core.New(simConfig(core.OptimizedConfig(), w, opt), w.Graph, w.NewAlgorithm())
+	if err != nil {
+		return err
+	}
+	c.Opt, err = a.Run()
+	return err
+}
+
+func runBaseJob(c *Cell, opt Options) error {
+	w := c.Workload
+	a, err := core.New(simConfig(core.BaselineConfig(), w, opt), w.Graph, w.NewAlgorithm())
+	if err != nil {
+		return err
+	}
+	c.Base, err = a.Run()
+	return err
+}
+
+func runGionJob(c *Cell, opt Options) error {
+	w := c.Workload
+	cfg := graphicionado.DefaultConfig()
+	if opt.MaxCycles > 0 {
+		cfg.MaxCycles = opt.MaxCycles
+	}
+	if w.MaxCycles > 0 {
+		cfg.MaxCycles = w.MaxCycles
+	}
+	var err error
+	c.Gion, err = graphicionado.Run(cfg, w.Graph, w.NewAlgorithm())
+	return err
+}
+
+// progress serializes per-job completion lines onto Options.Progress.
+type progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	count int
+	total int
+}
+
+func newProgress(w io.Writer, total int) *progress {
+	if w == nil {
+		return nil
+	}
+	return &progress{w: w, total: total}
+}
+
+func (p *progress) report(c *Cell, engine string, elapsed time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.count++
+	status := "ok"
+	if err := c.engineErr(engine); err != nil {
+		status = "FAILED: " + err.Error()
+	}
+	fmt.Fprintf(p.w, "[%d/%d] %s/%s %s %s (%s)\n",
+		p.count, p.total, c.Workload.Dataset.Abbrev, c.Workload.AlgName,
+		engine, elapsed.Round(time.Millisecond), status)
+}
+
+// RunWorkload measures one workload on every engine, serially. It keeps
+// the pre-runner contract: the first engine failure aborts with an error.
+func RunWorkload(w *Workload, opt Options) (*Cell, error) {
+	c := &Cell{Workload: w}
+	for _, engine := range EngineNames {
+		Job{Cell: c, Engine: engine}.Run(opt)
+		if err := c.engineErr(engine); err != nil {
+			return nil, fmt.Errorf("bench: %s/%s %s: %w", w.Dataset.Abbrev, w.AlgName, engine, err)
+		}
+	}
+	return c, nil
+}
+
+// RunSweep measures every selected workload on every engine. Per-cell
+// failures are recorded in the returned Sweep, not returned as an error;
+// the error covers only workload construction.
+func RunSweep(opt Options) (*Sweep, error) {
+	ws, err := Workloads(opt)
+	if err != nil {
+		return nil, err
+	}
+	return runSweep(ws, opt), nil
+}
+
+// runSweep executes the two-phase job schedule over prepared workloads.
+func runSweep(ws []*Workload, opt Options) *Sweep {
+	cells := make([]*Cell, len(ws))
+	for i, w := range ws {
+		cells[i] = &Cell{Workload: w}
+	}
+	prog := newProgress(opt.Progress, len(cells)*len(EngineNames))
+
+	// Phase 1: host-timed software baseline, strictly serial.
+	for _, c := range cells {
+		start := time.Now()
+		Job{Cell: c, Engine: "ligra"}.Run(opt)
+		prog.report(c, "ligra", time.Since(start))
+	}
+
+	// Phase 2: simulated engines on the bounded worker pool. Each job
+	// writes a distinct field of its cell, so no further synchronization
+	// is needed beyond the channel and WaitGroup.
+	jobs := make(chan Job)
+	var wg sync.WaitGroup
+	for i := 0; i < opt.workers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				start := time.Now()
+				j.Run(opt)
+				prog.report(j.Cell, j.Engine, time.Since(start))
+			}
+		}()
+	}
+	for _, c := range cells {
+		for _, engine := range simEngines {
+			jobs <- Job{Cell: c, Engine: engine}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	return &Sweep{Cells: cells, Tier: opt.Tier}
+}

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/sim"
+)
+
+// sweepOptions is the shared fixture: two datasets × two algorithms with
+// the host wall time pinned so rendered output is fully deterministic.
+func sweepOptions() Options {
+	return Options{
+		Tier:              gen.Tiny,
+		Datasets:          []string{"WG", "LJ"},
+		Algorithms:        []string{"pr", "bfs"},
+		fixedLigraSeconds: 1,
+	}
+}
+
+// renderSweepTables renders every sweep-consuming experiment into one
+// buffer (host timing pinned, so the output is deterministic).
+func renderSweepTables(t *testing.T, opt Options, sw *Sweep) string {
+	t.Helper()
+	var buf bytes.Buffer
+	opt.Out = &buf
+	for _, id := range []string{"fig10", "fig11", "fig12", "fig13", "fig14", "energy"} {
+		e, err := ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(opt, sw); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	return buf.String()
+}
+
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	serial := sweepOptions()
+	serial.Parallel = 1
+	par := sweepOptions()
+	par.Parallel = runtime.GOMAXPROCS(0)
+	if par.Parallel < 2 {
+		par.Parallel = 4 // still exercise the pool on a 1-CPU host
+	}
+
+	sw1, err := RunSweep(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swN, err := RunSweep(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw1.Cells) != len(swN.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(sw1.Cells), len(swN.Cells))
+	}
+	for i, a := range sw1.Cells {
+		b := swN.Cells[i]
+		if a.Workload.Dataset.Abbrev != b.Workload.Dataset.Abbrev || a.Workload.AlgName != b.Workload.AlgName {
+			t.Fatalf("cell %d order differs: %s/%s vs %s/%s", i,
+				a.Workload.Dataset.Abbrev, a.Workload.AlgName,
+				b.Workload.Dataset.Abbrev, b.Workload.AlgName)
+		}
+		if a.Failed() || b.Failed() {
+			t.Fatalf("cell %d failed: %q / %q", i, a.FailureReason(), b.FailureReason())
+		}
+		if a.Opt.Cycles != b.Opt.Cycles || a.Base.Cycles != b.Base.Cycles || a.Gion.Cycles != b.Gion.Cycles {
+			t.Errorf("cell %d cycles differ: opt %d/%d base %d/%d gion %d/%d", i,
+				a.Opt.Cycles, b.Opt.Cycles, a.Base.Cycles, b.Base.Cycles, a.Gion.Cycles, b.Gion.Cycles)
+		}
+		if a.Opt.EventsProcessed != b.Opt.EventsProcessed || a.Opt.EventsCoalesced != b.Opt.EventsCoalesced {
+			t.Errorf("cell %d event counts differ: %d/%d processed, %d/%d coalesced", i,
+				a.Opt.EventsProcessed, b.Opt.EventsProcessed,
+				a.Opt.EventsCoalesced, b.Opt.EventsCoalesced)
+		}
+		if a.LigraModelSeconds != b.LigraModelSeconds {
+			t.Errorf("cell %d model seconds differ: %g vs %g", i, a.LigraModelSeconds, b.LigraModelSeconds)
+		}
+	}
+
+	// The rendered tables — the sweep's user-facing artifact — must be
+	// byte-identical.
+	out1 := renderSweepTables(t, serial, sw1)
+	outN := renderSweepTables(t, par, swN)
+	if out1 != outN {
+		t.Errorf("rendered tables differ between parallel=1 and parallel=%d:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			par.Parallel, out1, outN)
+	}
+
+	// CSV export must agree too.
+	var csv1, csvN bytes.Buffer
+	if err := sw1.WriteCSV(&csv1); err != nil {
+		t.Fatal(err)
+	}
+	if err := swN.WriteCSV(&csvN); err != nil {
+		t.Fatal(err)
+	}
+	if csv1.String() != csvN.String() {
+		t.Error("CSV output differs between parallel=1 and parallel=N")
+	}
+}
+
+func TestSweepFailureIsolation(t *testing.T) {
+	opt := sweepOptions()
+	ws, err := Workloads(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Choke one cell's deadline so every simulated engine hits
+	// sim.ErrDeadline; the rest of the sweep must be unaffected.
+	const doomed = 1
+	ws[doomed].MaxCycles = 10
+
+	sw := runSweep(ws, opt)
+	if len(sw.Cells) != len(ws) {
+		t.Fatalf("sweep has %d cells, want %d", len(sw.Cells), len(ws))
+	}
+	bad := sw.Cells[doomed]
+	if !bad.Failed() {
+		t.Fatal("choked cell did not fail")
+	}
+	if !errors.Is(bad.OptErr, sim.ErrDeadline) {
+		t.Errorf("OptErr = %v, want sim.ErrDeadline", bad.OptErr)
+	}
+	if !strings.Contains(bad.FailureReason(), "deadline") {
+		t.Errorf("FailureReason = %q, want mention of deadline", bad.FailureReason())
+	}
+	for i, c := range sw.Cells {
+		if i == doomed {
+			continue
+		}
+		if c.Failed() {
+			t.Errorf("cell %d failed collaterally: %s", i, c.FailureReason())
+		}
+		if c.Opt == nil || c.Base == nil || c.Gion == nil {
+			t.Errorf("cell %d missing engine results", i)
+		}
+	}
+
+	// Rendering completes, marks the failure, and keeps the good rows.
+	out := renderSweepTables(t, opt, sw)
+	if !strings.Contains(out, "FAILED:") {
+		t.Error("rendered tables do not mark the failed cell")
+	}
+	if !strings.Contains(out, "geomean") {
+		t.Error("rendered tables lost their summary rows")
+	}
+
+	// CSV keeps one row per cell with the failure in the status column.
+	var buf bytes.Buffer
+	if err := sw.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(ws)+1 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), len(ws)+1)
+	}
+	if !strings.Contains(lines[doomed+1], "FAILED") {
+		t.Errorf("CSV row for failed cell = %q, want FAILED status", lines[doomed+1])
+	}
+}
+
+func TestSweepPanicIsolation(t *testing.T) {
+	opt := sweepOptions()
+	ws, err := Workloads(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws[0].makeAlg = func() algorithms.Algorithm { panic("boom") }
+
+	sw := runSweep(ws, opt)
+	bad := sw.Cells[0]
+	if !bad.Failed() {
+		t.Fatal("panicking cell did not fail")
+	}
+	// The panic fires in every engine job, including the serial Ligra
+	// phase — all must be recovered into structured failures.
+	for _, engine := range EngineNames {
+		err := bad.engineErr(engine)
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Errorf("%s error = %v, want recovered panic", engine, err)
+		}
+	}
+	for i, c := range sw.Cells[1:] {
+		if c.Failed() {
+			t.Errorf("cell %d failed collaterally: %s", i+1, c.FailureReason())
+		}
+	}
+}
+
+func TestRunExperimentsSurvivesFailedCell(t *testing.T) {
+	// End-to-end: a sweep-consuming experiment renders (rather than
+	// aborts) when a cell dies. MaxCycles applies sweep-wide here, so
+	// every cell fails — the run must still complete every section.
+	opt := sweepOptions()
+	opt.Datasets = []string{"WG"}
+	opt.Algorithms = []string{"bfs"}
+	opt.MaxCycles = 10
+	var buf bytes.Buffer
+	opt.Out = &buf
+	if err := RunExperiments([]string{"fig10", "fig11"}, opt); err != nil {
+		t.Fatalf("RunExperiments aborted on failed cell: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"1 of 1 cells FAILED", "==== fig10", "==== fig11", "FAILED:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProgressLines(t *testing.T) {
+	opt := sweepOptions()
+	opt.Datasets = []string{"WG"}
+	opt.Algorithms = []string{"bfs"}
+	opt.Parallel = 1
+	var prog bytes.Buffer
+	opt.Progress = &prog
+	sw, err := RunSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(sw.Cells) * len(EngineNames)
+	lines := strings.Split(strings.TrimSpace(prog.String()), "\n")
+	if len(lines) != want {
+		t.Fatalf("progress printed %d lines, want %d:\n%s", len(lines), want, prog.String())
+	}
+	if !strings.Contains(lines[0], "[1/4] WG/bfs ligra") {
+		t.Errorf("first progress line = %q, want serial ligra job first", lines[0])
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "ok") {
+			t.Errorf("progress line %q missing status", l)
+		}
+	}
+}
+
+func TestWriteSweepCSVBadPath(t *testing.T) {
+	dir := t.TempDir()
+	// The target is a directory: Create fails and the error names the csv.
+	if err := writeSweepCSV(dir, &Sweep{Tier: gen.Tiny}); err == nil {
+		t.Fatal("writing CSV over a directory succeeded")
+	} else if !strings.Contains(err.Error(), "csv") {
+		t.Errorf("error %v does not mention csv", err)
+	}
+}

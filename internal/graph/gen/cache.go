@@ -1,0 +1,82 @@
+package gen
+
+import (
+	"sync"
+
+	"graphpulse/internal/graph"
+)
+
+// Cache memoizes generated dataset graphs so a sweep builds each Table IV
+// stand-in once per (spec, tier) and shares it read-only across every
+// consumer. Besides the base graph it can hold named derived variants
+// (e.g. a relabeled copy for sliced execution, or the inbound-normalized
+// copy Adsorption runs on), each built at most once.
+//
+// All methods are safe for concurrent use; concurrent requests for the
+// same entry block until the single build completes. A build function must
+// not request its own key (that would self-deadlock), but it may request
+// other keys — derived variants typically start from Generate.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+}
+
+type cacheKey struct {
+	abbrev  string
+	tier    Tier
+	variant string
+}
+
+type cacheEntry struct {
+	once sync.Once
+	g    *graph.CSR
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{} }
+
+// Default is the shared process-wide cache. Dataset generation is
+// deterministic, so there is never a reason to regenerate; everything that
+// consumes Table IV workloads should go through it.
+var Default = NewCache()
+
+// Get returns the graph stored under (spec, tier, variant), building it
+// with build on first use. Both the graph and a build error are memoized:
+// generation is deterministic, so retrying cannot change the outcome.
+func (c *Cache) Get(spec DatasetSpec, t Tier, variant string, build func() (*graph.CSR, error)) (*graph.CSR, error) {
+	key := cacheKey{spec.Abbrev, t, variant}
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[cacheKey]*cacheEntry)
+	}
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.g, e.err = build() })
+	return e.g, e.err
+}
+
+// Generate returns the memoized base graph for (spec, tier); it is
+// spec.Generate computed at most once per cache.
+func (c *Cache) Generate(spec DatasetSpec, t Tier) (*graph.CSR, error) {
+	return c.Get(spec, t, "", func() (*graph.CSR, error) { return spec.Generate(t) })
+}
+
+// Len reports how many entries (base graphs plus variants) are resident.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every entry, forcing regeneration on next use. Intended for
+// tests and for releasing full-tier graphs between sweeps.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = nil
+}

@@ -1,0 +1,124 @@
+package gen
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"graphpulse/internal/graph"
+)
+
+func TestCacheGenerateMemoizes(t *testing.T) {
+	c := NewCache()
+	spec := Datasets[0]
+	g1, err := c.Generate(spec, Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.Generate(spec, Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("second Generate returned a different graph instance")
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+	// A different tier is a different entry.
+	g3, err := c.Generate(spec, Mini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3 == g1 {
+		t.Error("tiers share a graph instance")
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", c.Len())
+	}
+}
+
+func TestCacheConcurrentBuildsOnce(t *testing.T) {
+	c := NewCache()
+	spec := Datasets[0]
+	var builds atomic.Int32
+	var wg sync.WaitGroup
+	graphs := make([]*graph.CSR, 16)
+	for i := range graphs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := c.Get(spec, Tiny, "variant", func() (*graph.CSR, error) {
+				builds.Add(1)
+				return spec.Generate(Tiny)
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			graphs[i] = g
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("build ran %d times, want 1", n)
+	}
+	for i := 1; i < len(graphs); i++ {
+		if graphs[i] != graphs[0] {
+			t.Fatalf("goroutine %d saw a different graph instance", i)
+		}
+	}
+}
+
+func TestCacheVariantsAreDistinct(t *testing.T) {
+	c := NewCache()
+	spec := Datasets[0]
+	base, err := c.Generate(spec, Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A derived variant may build from the base entry without deadlocking.
+	norm, err := c.Get(spec, Tiny, "inbound", func() (*graph.CSR, error) {
+		g, err := c.Generate(spec, Tiny)
+		if err != nil {
+			return nil, err
+		}
+		return g.NormalizeInbound(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm == base {
+		t.Error("variant aliases the base graph")
+	}
+	again, err := c.Get(spec, Tiny, "inbound", func() (*graph.CSR, error) {
+		t.Error("variant rebuilt")
+		return nil, nil
+	})
+	if err != nil || again != norm {
+		t.Errorf("variant not memoized: %v %v", again, err)
+	}
+}
+
+func TestCacheMemoizesErrors(t *testing.T) {
+	c := NewCache()
+	spec := Datasets[0]
+	boom := errors.New("boom")
+	builds := 0
+	for i := 0; i < 2; i++ {
+		_, err := c.Get(spec, Tiny, "bad", func() (*graph.CSR, error) {
+			builds++
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("attempt %d: err = %v, want boom", i, err)
+		}
+	}
+	if builds != 1 {
+		t.Errorf("failing build ran %d times, want 1", builds)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("after Reset cache holds %d entries", c.Len())
+	}
+}
