@@ -227,6 +227,36 @@ func (h *vertexHeap) Pop() interface{} {
 	return x
 }
 
+// ReferenceSolution returns the independent textbook fixed point for alg on
+// g, dispatching on the concrete algorithm type. The second result is false
+// for algorithms without a registered oracle (e.g. warm-started wrappers,
+// whose equivalence is checked against cold-start engine runs instead).
+//
+// PageRank and Adsorption oracles iterate far past the engines' propagation
+// thresholds (total-change tolerance 1e-12), so oracle error is negligible
+// next to the engine-side tolerance budget.
+func ReferenceSolution(g *graph.CSR, alg Algorithm) ([]Value, bool) {
+	switch a := alg.(type) {
+	case *SSSP:
+		return DijkstraSSSP(g, a.Root), true
+	case *BFS:
+		return BFSLevels(g, a.Root), true
+	case *Reach:
+		return Reachable(g, a.Root), true
+	case *ConnectedComponents:
+		return MaxLabelFixedPoint(g), true
+	case *SSWP:
+		return WidestPath(g, a.Root), true
+	case *ReliablePath:
+		return MostReliablePath(g, a.Root), true
+	case *PageRankDelta:
+		return PageRankPower(g, a.Alpha, 1e-12, 100_000), true
+	case *Adsorption:
+		return AdsorptionFixedPoint(g, a, 1e-12, 100_000), true
+	}
+	return nil, false
+}
+
 // MostReliablePath computes max-product path reliabilities from root with a
 // Dijkstra-style max-heap (weights must lie in (0,1]).
 func MostReliablePath(g *graph.CSR, root graph.VertexID) []Value {

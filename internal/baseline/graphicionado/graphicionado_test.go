@@ -1,7 +1,6 @@
 package graphicionado
 
 import (
-	"math"
 	"testing"
 
 	"graphpulse/internal/algorithms"
@@ -33,59 +32,9 @@ func testGraph(t testing.TB) *graph.CSR {
 	return g
 }
 
-func assertMatch(t *testing.T, label string, got, want []float64, tol float64) {
-	t.Helper()
-	bad := 0
-	for v := range want {
-		a, b := got[v], want[v]
-		if a == b || (math.IsInf(a, 1) && math.IsInf(b, 1)) || (math.IsInf(a, -1) && math.IsInf(b, -1)) {
-			continue
-		}
-		if math.Abs(a-b) > tol {
-			bad++
-			if bad <= 3 {
-				t.Errorf("%s: vertex %d = %g, want %g", label, v, a, b)
-			}
-		}
-	}
-	if bad > 0 {
-		t.Fatalf("%s: %d mismatches", label, bad)
-	}
-}
-
-func TestGraphicionadoMatchesOracle(t *testing.T) {
-	g := testGraph(t)
-	root := bestRoot(g)
-	cases := []struct {
-		alg  algorithms.Algorithm
-		want []float64
-		tol  float64
-	}{
-		{algorithms.NewBFS(root), algorithms.BFSLevels(g, root), 0},
-		{algorithms.NewSSSP(root), algorithms.DijkstraSSSP(g, root), 1e-9},
-		{algorithms.NewConnectedComponents(), algorithms.MaxLabelFixedPoint(g), 0},
-		{algorithms.NewSSWP(root), algorithms.WidestPath(g, root), 1e-9},
-	}
-	for _, tc := range cases {
-		res, err := Run(DefaultConfig(), g, tc.alg)
-		if err != nil {
-			t.Fatalf("%s: %v", tc.alg.Name(), err)
-		}
-		assertMatch(t, tc.alg.Name(), res.Values, tc.want, tc.tol)
-	}
-}
-
-func TestGraphicionadoPageRank(t *testing.T) {
-	g := testGraph(t)
-	pr := algorithms.NewPageRankDelta()
-	pr.Threshold = 1e-6
-	want := algorithms.PageRankPower(g, pr.Alpha, 1e-12, 10_000)
-	res, err := Run(DefaultConfig(), g, pr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	assertMatch(t, "pagerank", res.Values, want, 5e-3)
-}
+// Oracle-agreement tests live in graphicionado_conformance_test.go, which
+// routes them through the shared internal/conformance harness and tolerance
+// policy.
 
 func TestGraphicionadoBFSIterationsEqualDepth(t *testing.T) {
 	g, err := gen.Chain(30, false)

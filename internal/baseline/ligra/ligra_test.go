@@ -54,50 +54,8 @@ func assertMatch(t *testing.T, label string, got, want []float64, tol float64) {
 	}
 }
 
-func TestLigraMatchesOracle(t *testing.T) {
-	g := testGraph(t)
-	for _, dir := range []Direction{Auto, PushOnly, PullOnly} {
-		cfg := DefaultConfig()
-		cfg.Direction = dir
-		e := New(cfg, g)
-		root := bestRoot(g)
-		cases := []struct {
-			alg  algorithms.Algorithm
-			want []float64
-			tol  float64
-		}{
-			{algorithms.NewBFS(root), algorithms.BFSLevels(g, root), 0},
-			{algorithms.NewSSSP(root), algorithms.DijkstraSSSP(g, root), 1e-9},
-			{algorithms.NewConnectedComponents(), algorithms.MaxLabelFixedPoint(g), 0},
-			{algorithms.NewSSWP(root), algorithms.WidestPath(g, root), 1e-9},
-		}
-		for _, tc := range cases {
-			res := e.Run(tc.alg)
-			assertMatch(t, tc.alg.Name(), res.Values, tc.want, tc.tol)
-		}
-	}
-}
-
-func TestLigraPageRank(t *testing.T) {
-	g := testGraph(t)
-	pr := algorithms.NewPageRankDelta()
-	// BSP applies sub-threshold deltas one iteration at a time, dropping
-	// more residual mass than the coalescing engines; tighten the threshold
-	// so the comparison tolerance stays meaningful.
-	pr.Threshold = 1e-6
-	want := algorithms.PageRankPower(g, pr.Alpha, 1e-12, 10_000)
-	res := New(DefaultConfig(), g).Run(pr)
-	assertMatch(t, "pagerank", res.Values, want, 5e-3)
-}
-
-func TestLigraAdsorption(t *testing.T) {
-	g := testGraph(t).NormalizeInbound()
-	ad := algorithms.NewAdsorption()
-	ad.Threshold = 1e-6
-	want := algorithms.AdsorptionFixedPoint(g, ad, 1e-12, 10_000)
-	res := New(DefaultConfig(), g).Run(ad)
-	assertMatch(t, "adsorption", res.Values, want, 5e-3)
-}
+// Oracle-agreement tests live in ligra_conformance_test.go, which routes
+// them through the shared internal/conformance harness and tolerance policy.
 
 func TestLigraSingleThreadMatchesParallel(t *testing.T) {
 	g := testGraph(t)

@@ -1,0 +1,130 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+
+	"graphpulse/internal/graph"
+)
+
+// The fuzz targets decode arbitrary byte strings into small (graph,
+// algorithm) instances and re-run the differential harness on them, letting
+// the native fuzzer search for engine divergence instead of relying on the
+// fixed conformance matrix. Seed corpora live under testdata/fuzz/ and are
+// exercised by every plain `go test` run.
+//
+// Byte layout (shared by the targets):
+//
+//	data[0]  vertex count selector (n = 2 + data[0]%62)
+//	data[1]  algorithm selector (index into Algorithms())
+//	data[2]  root selector (root = data[2]%n)
+//	data[3]  bit 0: weighted
+//	data[4:] edge triples (src%n, dst%n, weight byte), capped at 4n edges
+func fuzzGraph(data []byte) (*graph.CSR, AlgCase, graph.VertexID, bool) {
+	if len(data) < 4 {
+		return nil, AlgCase{}, 0, false
+	}
+	n := 2 + int(data[0]%62)
+	algs := Algorithms()
+	c := algs[int(data[1])%len(algs)]
+	root := graph.VertexID(int(data[2]) % n)
+	weighted := data[3]&1 == 1
+	payload := data[4:]
+	var edges []graph.Edge
+	for i := 0; i+2 < len(payload) && len(edges) < 4*n; i += 3 {
+		edges = append(edges, graph.Edge{
+			Src:    graph.VertexID(int(payload[i]) % n),
+			Dst:    graph.VertexID(int(payload[i+1]) % n),
+			Weight: float32(int(payload[i+2])%100+1) / 100,
+		})
+	}
+	if len(edges) == 0 {
+		// A weighted graph with no edges does not round-trip its weighted
+		// flag through the text format; normalize so every decoded instance
+		// is a fixed point of encode∘decode.
+		weighted = false
+	}
+	g, err := graph.FromEdges(n, edges, weighted)
+	if err != nil {
+		return nil, AlgCase{}, 0, false
+	}
+	return g, c, root, true
+}
+
+// FuzzEngineAgreement decodes a (graph, algorithm, root) instance and runs
+// the full differential harness: all engines vs the reference oracle, event
+// conservation, and the algebraic laws.
+func FuzzEngineAgreement(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, c, root, ok := fuzzGraph(data)
+		if !ok {
+			t.Skip()
+		}
+		prepared := c.Prepared(g)
+		if err := Verify(prepared, c.Maker(root), Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzGraphIORoundTrip checks that the text edge-list and binary CSR codecs
+// are lossless: write∘read must reproduce the graph bit-for-bit (weights
+// included), for any decodable instance — including multigraphs, self
+// loops, and trailing isolated vertices.
+func FuzzGraphIORoundTrip(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, _, _, ok := fuzzGraph(data)
+		if !ok {
+			t.Skip()
+		}
+		var text bytes.Buffer
+		if err := graph.WriteEdgeList(&text, g); err != nil {
+			t.Fatal(err)
+		}
+		fromText, err := graph.ReadEdgeList(&text, g.NumVertices())
+		if err != nil {
+			t.Fatalf("text round-trip: %v", err)
+		}
+		if !g.Equal(fromText) {
+			t.Fatalf("text round-trip altered the graph (n=%d m=%d weighted=%v)",
+				g.NumVertices(), g.NumEdges(), g.Weighted())
+		}
+		var bin bytes.Buffer
+		if err := graph.WriteBinary(&bin, g); err != nil {
+			t.Fatal(err)
+		}
+		fromBin, err := graph.ReadBinary(&bin)
+		if err != nil {
+			t.Fatalf("binary round-trip: %v", err)
+		}
+		if !g.Equal(fromBin) {
+			t.Fatalf("binary round-trip altered the graph (n=%d m=%d weighted=%v)",
+				g.NumVertices(), g.NumEdges(), g.Weighted())
+		}
+	})
+}
+
+// FuzzIncrementalInsert splits the decoded edge set into a base graph and a
+// batch of insertions, converges on the base, applies the batch through the
+// incremental path, and requires the warm continuation to land on the cold-
+// start fixed point (on the worklist solver and the accelerator).
+func FuzzIncrementalInsert(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, c, _, ok := fuzzGraph(data)
+		if !ok || !c.Incremental {
+			t.Skip()
+		}
+		edges := g.Edges()
+		if len(edges) < 2 {
+			t.Skip()
+		}
+		split := len(edges) / 2
+		base, err := graph.FromEdges(g.NumVertices(), edges[:split], g.Weighted())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyIncremental(base, c, edges[split:]); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+//go:build ignore
+
+// gen_corpus regenerates the seed corpora under testdata/fuzz/. Run from
+// this directory:
+//
+//	go run gen_corpus.go
+//
+// Each seed decodes (via fuzzGraph in fuzz_test.go) to a deliberately shaped
+// instance: chains and stars for deep/hub-heavy propagation, denser mixes
+// for coalescing, and every algorithm selector so plain `go test` exercises
+// all algorithms through the fuzz path too.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+)
+
+// seed mirrors fuzz_test.go's layout: n-selector, algorithm selector, root
+// selector, weighted flag, then (src, dst, weight) triples.
+func seed(nSel, alg, root, weighted byte, triples ...byte) []byte {
+	return append([]byte{nSel, alg, root, weighted}, triples...)
+}
+
+func chainPayload(n byte) []byte {
+	var p []byte
+	for i := byte(0); i+1 < n; i++ {
+		p = append(p, i, i+1, 37+i)
+	}
+	return p
+}
+
+func starPayload(n byte) []byte {
+	var p []byte
+	for i := byte(1); i < n; i++ {
+		p = append(p, 0, i, 11+i)
+	}
+	return p
+}
+
+func densePayload(n byte, edges int) []byte {
+	var p []byte
+	x := byte(7)
+	for i := 0; i < edges; i++ {
+		// A small LCG keeps the payload deterministic without imports.
+		x = x*31 + 17
+		p = append(p, x%n, (x/3)%n, x)
+	}
+	return p
+}
+
+func main() {
+	corpora := map[string][][]byte{}
+
+	// Engine agreement: every algorithm selector on at least one shape, plus
+	// shape variety on a couple of selectors.
+	var ea [][]byte
+	for alg := byte(0); alg < 8; alg++ {
+		ea = append(ea, seed(14, alg, 0, 1, chainPayload(16)...))
+	}
+	ea = append(ea,
+		seed(10, 0, 0, 1, starPayload(12)...),
+		seed(30, 2, 5, 1, densePayload(32, 96)...),
+		seed(6, 3, 1, 0, densePayload(8, 20)...),
+		seed(0, 5, 0, 1, 0, 1, 50, 1, 0, 60), // 2-vertex multigraph with a cycle
+	)
+	corpora["FuzzEngineAgreement"] = ea
+
+	// IO round-trip: weighted/unweighted, self loops, duplicates, isolated
+	// trailing vertices (n larger than any endpoint), empty payloads.
+	corpora["FuzzGraphIORoundTrip"] = [][]byte{
+		seed(14, 0, 0, 1, chainPayload(16)...),
+		seed(14, 0, 0, 0, chainPayload(16)...),
+		seed(40, 0, 0, 1, densePayload(42, 64)...),
+		seed(8, 0, 0, 1, 3, 3, 99, 3, 3, 99, 0, 9, 1), // self loops + duplicate edges
+		seed(60, 0, 0, 1, 0, 1, 50),                   // one edge, many isolated vertices
+		seed(4, 0, 0, 0),                              // no edges at all
+	}
+
+	// Incremental insert: the incremental algorithm selectors (adsorption,
+	// selector 1, is skipped by the target) on chains, stars, and dense
+	// mixes so the split base/batch both stay interesting.
+	corpora["FuzzIncrementalInsert"] = [][]byte{
+		seed(14, 0, 0, 1, chainPayload(16)...),
+		seed(14, 2, 0, 1, chainPayload(16)...),
+		seed(10, 3, 0, 1, starPayload(12)...),
+		seed(20, 5, 0, 1, densePayload(22, 60)...),
+		seed(12, 6, 2, 1, densePayload(14, 40)...),
+		seed(12, 7, 2, 1, densePayload(14, 40)...),
+	}
+
+	for target, seeds := range corpora {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for i, s := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s)
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%s: %d seeds\n", target, len(seeds))
+	}
+}

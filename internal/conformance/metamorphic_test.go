@@ -1,0 +1,124 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphpulse/internal/graph"
+)
+
+// metamorphicShapes trims the shape set for the metamorphic suites, which
+// run several engine executions per (shape, algorithm) pair.
+func metamorphicShapes(t *testing.T) []Shape {
+	t.Helper()
+	all := Shapes()
+	return []Shape{all[0], all[2], all[3]} // rmat, grid, chain
+}
+
+func TestMetamorphicRelabelInvariance(t *testing.T) {
+	for _, shape := range metamorphicShapes(t) {
+		shape := shape
+		t.Run(shape.Name, func(t *testing.T) {
+			t.Parallel()
+			g, err := shape.Build(23)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range Algorithms() {
+				c := c
+				t.Run(c.Name, func(t *testing.T) {
+					t.Parallel()
+					if err := VerifyRelabelInvariance(g, c, 97); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestMetamorphicTransposeConsistency(t *testing.T) {
+	for _, shape := range metamorphicShapes(t) {
+		shape := shape
+		t.Run(shape.Name, func(t *testing.T) {
+			t.Parallel()
+			g, err := shape.Build(29)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range Algorithms() {
+				c := c
+				t.Run(c.Name, func(t *testing.T) {
+					t.Parallel()
+					if err := VerifyTransposeConsistency(g, c); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestMetamorphicPartitionInvariance(t *testing.T) {
+	for _, shape := range metamorphicShapes(t) {
+		shape := shape
+		t.Run(shape.Name, func(t *testing.T) {
+			t.Parallel()
+			g, err := shape.Build(31)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range Algorithms() {
+				c := c
+				t.Run(c.Name, func(t *testing.T) {
+					t.Parallel()
+					if err := VerifyPartitionInvariance(g, c); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// randomInsertions draws edge insertions whose endpoints already exist in g,
+// weighted uniformly in (0, 1].
+func randomInsertions(g *graph.CSR, count int, seed int64) []graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	edges := make([]graph.Edge, 0, count)
+	for i := 0; i < count; i++ {
+		edges = append(edges, graph.Edge{
+			Src:    graph.VertexID(rng.Intn(n)),
+			Dst:    graph.VertexID(rng.Intn(n)),
+			Weight: float32(rng.Intn(100)+1) / 100,
+		})
+	}
+	return edges
+}
+
+func TestMetamorphicIncrementalEquivalence(t *testing.T) {
+	for _, shape := range metamorphicShapes(t) {
+		shape := shape
+		t.Run(shape.Name, func(t *testing.T) {
+			t.Parallel()
+			g, err := shape.Build(37)
+			if err != nil {
+				t.Fatal(err)
+			}
+			added := randomInsertions(g, 8, 41)
+			for _, c := range Algorithms() {
+				c := c
+				if !c.Incremental {
+					continue
+				}
+				t.Run(c.Name, func(t *testing.T) {
+					t.Parallel()
+					if err := VerifyIncremental(g, c, added); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/core"
+	"graphpulse/internal/graph"
+	"graphpulse/internal/graph/gen"
+)
+
+// randomGraph draws one of the four random topology families used by the
+// property tests; all are weighted so weight-sensitive algorithms get real
+// inputs.
+func randomGraph(shape uint8, seed int64, rng *rand.Rand) (*graph.CSR, error) {
+	switch shape % 4 {
+	case 0:
+		return gen.ErdosRenyi(rng.Intn(300)+2, rng.Intn(1500), true, seed)
+	case 1:
+		return gen.RMAT(gen.RMATParams{
+			A: 0.57, B: 0.19, C: 0.19, D: 0.05,
+			Scale: rng.Intn(5) + 4, EdgeFactor: rng.Intn(8) + 1,
+			Weighted: true, Seed: seed,
+		})
+	case 2:
+		return gen.Grid2D(rng.Intn(12)+2, rng.Intn(12)+2, true, seed)
+	default:
+		return gen.Chain(rng.Intn(200)+2, true)
+	}
+}
+
+// randomMonotone picks one of the monotone (exact-agreement) algorithms.
+func randomMonotone(algPick uint8, root graph.VertexID) func() algorithms.Algorithm {
+	switch algPick % 5 {
+	case 0:
+		return func() algorithms.Algorithm { return algorithms.NewSSSP(root) }
+	case 1:
+		return func() algorithms.Algorithm { return algorithms.NewBFS(root) }
+	case 2:
+		return func() algorithms.Algorithm { return algorithms.NewConnectedComponents() }
+	case 3:
+		return func() algorithms.Algorithm { return algorithms.NewSSWP(root) }
+	default:
+		return func() algorithms.Algorithm { return algorithms.NewReach(root) }
+	}
+}
+
+// randomConfig randomizes the architecture knobs that must never change
+// results: baseline vs optimized design, forced slicing, bin geometry,
+// scheduling policy, and generation-pipeline depth.
+func randomConfig(knob uint8, n int) core.Config {
+	cfg := core.OptimizedConfig()
+	cfg.MaxCycles = 500_000_000
+	switch knob % 6 {
+	case 1:
+		cfg = core.BaselineConfig()
+		cfg.MaxCycles = 500_000_000
+	case 2:
+		cfg.QueueCapacity = n/2 + 1 // force slicing
+	case 3:
+		cfg.NumBins = 8
+		cfg.BinCols = 2
+	case 4:
+		cfg.Schedule = core.ScheduleDensestFirst
+	case 5:
+		cfg.StreamsPerProcessor = 1
+		cfg.GenQueueDepth = 1
+	}
+	return cfg
+}
+
+// TestPropertyAcceleratorEqualsOracle drives the full accelerator on
+// randomly generated graphs with randomly chosen monotone algorithms and
+// random configuration knobs, and requires exact agreement with the
+// reference worklist solver every time (plus the event-conservation balance
+// applied by runAccelerator). This is the repository's strongest single
+// correctness property: any scheduling, coalescing, routing, or slicing bug
+// that affects results will eventually surface here.
+func TestPropertyAcceleratorEqualsOracle(t *testing.T) {
+	f := func(seed int64, shape, algPick, knob uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := randomGraph(shape, seed, rng)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		root := graph.VertexID(rng.Intn(g.NumVertices()))
+		mk := randomMonotone(algPick, root)
+		cfg := randomConfig(knob, g.NumVertices())
+		e := EngineAccelerator(cfg)
+		if err := VerifyEngine(e, g, mk); err != nil {
+			t.Logf("seed=%d shape=%d alg=%d knob=%d: %v", seed, shape%4, algPick%5, knob%6, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyAllEnginesAgree extends the property to the full engine set
+// (solver, accelerator, Graphicionado, Ligra) with the default conformance
+// configurations, on a smaller case budget since each case runs every
+// engine.
+func TestPropertyAllEnginesAgree(t *testing.T) {
+	f := func(seed int64, shape, algPick uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := randomGraph(shape, seed, rng)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		root := graph.VertexID(rng.Intn(g.NumVertices()))
+		mk := randomMonotone(algPick, root)
+		if err := Verify(g, mk, Options{}); err != nil {
+			t.Logf("seed=%d shape=%d alg=%d: %v", seed, shape%4, algPick%5, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -2,9 +2,11 @@ package gen
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"graphpulse/internal/graph"
 )
@@ -68,6 +70,80 @@ func TestCacheConcurrentBuildsOnce(t *testing.T) {
 			t.Fatalf("goroutine %d saw a different graph instance", i)
 		}
 	}
+}
+
+// TestCacheConcurrentStress hammers one cache from many goroutines across
+// many distinct keys simultaneously (run under -race in CI). A start
+// barrier releases all goroutines at once and each build sleeps briefly, so
+// the build-once window is held open while every waiter for the key is
+// inside Get; each key must build exactly once and all of its waiters must
+// observe the same instance.
+func TestCacheConcurrentStress(t *testing.T) {
+	c := NewCache()
+	spec := Datasets[0]
+	const (
+		keys       = 12
+		waiters    = 24
+		iterations = 3
+	)
+	variants := make([]string, keys)
+	for k := range variants {
+		variants[k] = fmt.Sprintf("stress-%d", k)
+	}
+	builds := make([]atomic.Int32, keys)
+	got := make([][]*graph.CSR, keys)
+	for k := range got {
+		got[k] = make([]*graph.CSR, waiters)
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		for w := 0; w < waiters; w++ {
+			wg.Add(1)
+			go func(k, w int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < iterations; i++ {
+					g, err := c.Get(spec, Tiny, variants[k], func() (*graph.CSR, error) {
+						builds[k].Add(1)
+						time.Sleep(time.Millisecond) // widen the build window
+						return spec.Generate(Tiny)
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					got[k][w] = g
+				}
+			}(k, w)
+		}
+	}
+	close(start)
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if n := builds[k].Load(); n != 1 {
+			t.Errorf("key %d built %d times, want 1", k, n)
+		}
+		for w := 1; w < waiters; w++ {
+			if got[k][w] != got[k][0] {
+				t.Errorf("key %d waiter %d saw a different instance", k, w)
+			}
+		}
+	}
+	if c.Len() != keys {
+		t.Errorf("cache holds %d entries, want %d", c.Len(), keys)
+	}
+	// Concurrent use of the read-side APIs must also be race-free while
+	// entries exist.
+	var rg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			_ = c.Len()
+		}()
+	}
+	rg.Wait()
 }
 
 func TestCacheVariantsAreDistinct(t *testing.T) {

@@ -185,6 +185,34 @@ func (g *CSR) Edges() []Edge {
 	return out
 }
 
+// Equal reports whether g and o are structurally identical: same vertex
+// count, same RowPtr, same Dst ordering, and bit-identical weights (or both
+// unweighted). Round-trip and metamorphic tests use it.
+func (g *CSR) Equal(o *CSR) bool {
+	if len(g.RowPtr) != len(o.RowPtr) || g.NumEdges() != o.NumEdges() {
+		return false
+	}
+	for i := range g.RowPtr {
+		if g.RowPtr[i] != o.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range g.Dst {
+		if g.Dst[i] != o.Dst[i] {
+			return false
+		}
+	}
+	if (g.Weight == nil) != (o.Weight == nil) {
+		return false
+	}
+	for i := range g.Weight {
+		if g.Weight[i] != o.Weight[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Transpose returns the reverse graph (every edge u→v becomes v→u),
 // preserving weights. Pull-direction engines need it.
 func (g *CSR) Transpose() *CSR {

@@ -131,6 +131,131 @@ func TestFetcherBackpressure(t *testing.T) {
 	}
 }
 
+// TestFetcherLineStraddleUseful checks the useful-byte split for a small
+// fetch that straddles a line boundary: the policy charges useful bytes
+// first-to-last, so the first line absorbs all 8 useful bytes and the
+// second line is pure overfetch.
+func TestFetcherLineStraddleUseful(t *testing.T) {
+	m := New(DefaultConfig())
+	f := NewFetcher(m)
+	done := false
+	f.Fetch(LineBytes-4, 8, 8, false, func() { done = true })
+	if f.PendingLines() != 2 {
+		t.Fatalf("PendingLines = %d, want 2", f.PendingLines())
+	}
+	if f.pending[0].useful != 8 || f.pending[1].useful != 0 {
+		t.Errorf("useful split = (%d,%d), want (8,0)", f.pending[0].useful, f.pending[1].useful)
+	}
+	if f.pending[0].addr != 0 || f.pending[1].addr != LineBytes {
+		t.Errorf("line addrs = (%d,%d), want (0,%d)", f.pending[0].addr, f.pending[1].addr, LineBytes)
+	}
+	e := sim.NewEngine()
+	e.Register(m)
+	for !done {
+		f.Pump()
+		e.Step()
+		if e.Cycle() > 100_000 {
+			t.Fatal("fetch never completed")
+		}
+	}
+	if got := m.Stats().Counter("bytes_useful"); got != 8 {
+		t.Errorf("bytes_useful = %d, want 8", got)
+	}
+	if got := m.Stats().Counter("bytes_transferred"); got != 2*LineBytes {
+		t.Errorf("bytes_transferred = %d, want %d", got, 2*LineBytes)
+	}
+}
+
+// TestFetcherZeroUseful models a zero-degree vertex: its CSR row is
+// touched (a full line transfers) but no edge data is consumed, so the
+// whole transfer is overfetch.
+func TestFetcherZeroUseful(t *testing.T) {
+	m := New(DefaultConfig())
+	f := NewFetcher(m)
+	done := false
+	f.Fetch(0, LineBytes, 0, false, func() { done = true })
+	e := sim.NewEngine()
+	e.Register(m)
+	for !done {
+		f.Pump()
+		e.Step()
+		if e.Cycle() > 100_000 {
+			t.Fatal("fetch never completed")
+		}
+	}
+	if got := m.Stats().Counter("bytes_useful"); got != 0 {
+		t.Errorf("bytes_useful = %d, want 0", got)
+	}
+	if got := m.Stats().Counter("bytes_transferred"); got != LineBytes {
+		t.Errorf("bytes_transferred = %d, want %d", got, LineBytes)
+	}
+}
+
+// TestFetcherBoundaryAlignment pins the line-splitting arithmetic at the
+// edges: exact-line fetches stay single-line, the last byte of a line does
+// not spill into the next, and the first byte of the next line maps there.
+func TestFetcherBoundaryAlignment(t *testing.T) {
+	cases := []struct {
+		addr, bytes uint64
+		lines       int
+		firstLine   uint64
+	}{
+		{0, LineBytes, 1, 0},                 // exactly one aligned line
+		{LineBytes, LineBytes, 1, LineBytes}, // aligned to the second line
+		{LineBytes - 1, 1, 1, 0},             // last byte of line 0
+		{LineBytes, 1, 1, LineBytes},         // first byte of line 1
+		{LineBytes - 1, 2, 2, 0},             // minimal straddle
+		{0, 2 * LineBytes, 2, 0},             // two full lines
+	}
+	for _, tc := range cases {
+		f := NewFetcher(New(DefaultConfig()))
+		f.Fetch(tc.addr, tc.bytes, tc.bytes, false, nil)
+		if f.PendingLines() != tc.lines {
+			t.Errorf("Fetch(%d,%d): %d lines, want %d", tc.addr, tc.bytes, f.PendingLines(), tc.lines)
+			continue
+		}
+		if f.pending[0].addr != tc.firstLine {
+			t.Errorf("Fetch(%d,%d): first line at %d, want %d", tc.addr, tc.bytes, f.pending[0].addr, tc.firstLine)
+		}
+	}
+}
+
+// TestFetcherFIFOAcrossGroupsUnderBackpressure stages several fetch groups
+// into a deliberately shallow memory queue and checks that completions fire
+// in issue order — the fetcher must not reorder or starve an earlier group
+// when Pump hits backpressure mid-group.
+func TestFetcherFIFOAcrossGroupsUnderBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.QueueDepth = 1
+	m := New(cfg)
+	f := NewFetcher(m)
+	var order []int
+	f.Fetch(0, 3*LineBytes, 3*LineBytes, false, func() { order = append(order, 0) })
+	f.Fetch(8*LineBytes, LineBytes, LineBytes, false, func() { order = append(order, 1) })
+	f.Fetch(16*LineBytes, 2*LineBytes, 2*LineBytes, true, func() { order = append(order, 2) })
+	e := sim.NewEngine()
+	e.Register(m)
+	for len(order) < 3 {
+		f.Pump()
+		e.Step()
+		if e.Cycle() > 100_000 {
+			t.Fatalf("groups stalled; completed so far: %v", order)
+		}
+	}
+	for i, want := range []int{0, 1, 2} {
+		if order[i] != want {
+			t.Fatalf("completion order = %v, want [0 1 2]", order)
+		}
+	}
+	if got := m.Stats().Counter("reads"); got != 4 {
+		t.Errorf("reads = %d, want 4", got)
+	}
+	if got := m.Stats().Counter("writes"); got != 2 {
+		t.Errorf("writes = %d, want 2", got)
+	}
+}
+
 func TestFetcherWrite(t *testing.T) {
 	m := New(DefaultConfig())
 	f := NewFetcher(m)
