@@ -12,12 +12,19 @@
 // GOMAXPROCS; the host-timed Ligra phase always runs serially), and
 // -progress prints per-cell completion lines to stderr. Table output is
 // byte-identical for every -parallel value.
+//
+// -telemetry PREFIX makes the timeline experiment export its time series as
+// PREFIX.csv and PREFIX.trace.json (Chrome trace_event; loads in Perfetto —
+// see EXPERIMENTS.md "Time-resolved figures" and METRICS.md).
+// -cpuprofile/-memprofile write Go pprof profiles of the harness itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"graphpulse/internal/bench"
@@ -34,8 +41,22 @@ func main() {
 		csvFlag      = flag.String("csv", "", "also write the engine sweep as CSV to this path")
 		parallelFlag = flag.Int("parallel", 0, "simulated-engine sweep workers (0 = GOMAXPROCS; ligra phase is always serial)")
 		progressFlag = flag.Bool("progress", false, "print per-cell completion lines with elapsed time to stderr")
+		telFlag      = flag.String("telemetry", "", "write the timeline experiment's series to PREFIX.csv and PREFIX.trace.json")
+		cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile of the harness to this file")
+		memProfFlag  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfFlag != "" {
+		f, err := os.Create(*cpuProfFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *listFlag {
 		for _, e := range bench.Experiments() {
@@ -58,12 +79,13 @@ func main() {
 	}
 
 	opt := bench.Options{
-		Tier:       tier,
-		Datasets:   splitList(*datasetFlag),
-		Algorithms: splitList(*algFlag),
-		Out:        os.Stdout,
-		CSVPath:    *csvFlag,
-		Parallel:   *parallelFlag,
+		Tier:          tier,
+		Datasets:      splitList(*datasetFlag),
+		Algorithms:    splitList(*algFlag),
+		Out:           os.Stdout,
+		CSVPath:       *csvFlag,
+		Parallel:      *parallelFlag,
+		TelemetryPath: *telFlag,
 	}
 	if *progressFlag {
 		opt.Progress = os.Stderr
@@ -72,6 +94,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *memProfFlag != "" {
+		runtime.GC()
+		f, err := os.Create(*memProfFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+	os.Exit(1)
 }
 
 func splitList(s string) []string {

@@ -11,6 +11,12 @@
 // Graphs come from -graph (text edge list, or binary container if the file
 // starts with the GPCS magic) or -rmat SCALExEDGEFACTOR (deterministic
 // synthetic). -top prints the N highest-valued vertices.
+//
+// -telemetry PREFIX samples the simulated engines (accel, accel-base,
+// graphicionado) every 512 cycles and writes PREFIX.csv plus
+// PREFIX.trace.json — the latter loads in chrome://tracing and Perfetto
+// (see METRICS.md and EXPERIMENTS.md "Time-resolved figures").
+// -cpuprofile/-memprofile write Go pprof profiles of the simulator itself.
 package main
 
 import (
@@ -19,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -38,8 +46,22 @@ func main() {
 		slices    = flag.Int("slices", 1, "force partitioned accelerator execution into N slices")
 		top       = flag.Int("top", 5, "print the N highest-valued vertices")
 		stats     = flag.Bool("stats", true, "print architecture measurements")
+		telPrefix = flag.String("telemetry", "", "write time-series telemetry to PREFIX.csv and PREFIX.trace.json (simulated engines only)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	g, err := loadGraph(*graphPath, *rmat, *seed)
 	if err != nil {
@@ -62,6 +84,9 @@ func main() {
 		if *slices > 1 {
 			cfg.QueueCapacity = (g.NumVertices() + *slices - 1) / *slices
 		}
+		if *telPrefix != "" {
+			cfg.Telemetry = graphpulse.DefaultTelemetryConfig()
+		}
 		res, err := graphpulse.Run(cfg, g, alg)
 		if err != nil {
 			fail(err)
@@ -76,6 +101,11 @@ func main() {
 			fmt.Printf("off-chip: %d reads, %d writes, %.1f%% of bytes utilized\n",
 				res.MemReads, res.MemWrites, 100*res.Utilization)
 		}
+		if *telPrefix != "" {
+			if err := writeTelemetry(res.Telemetry, *telPrefix, cfg.ClockHz); err != nil {
+				fail(err)
+			}
+		}
 	case "ligra":
 		start := time.Now()
 		res := graphpulse.RunLigra(graphpulse.DefaultLigraConfig(), g, alg)
@@ -86,7 +116,11 @@ func main() {
 				wall, res.Iterations, res.PushIterations, res.PullIterations, res.EdgesTraversed)
 		}
 	case "graphicionado":
-		res, err := graphpulse.RunGraphicionado(graphpulse.DefaultGraphicionadoConfig(), g, alg)
+		gcfg := graphpulse.DefaultGraphicionadoConfig()
+		if *telPrefix != "" {
+			gcfg.Telemetry = graphpulse.DefaultTelemetryConfig()
+		}
+		res, err := graphpulse.RunGraphicionado(gcfg, g, alg)
 		if err != nil {
 			fail(err)
 		}
@@ -94,6 +128,11 @@ func main() {
 		if *stats {
 			fmt.Printf("cycles: %d (%.3f ms at 1 GHz); iterations: %d; edge reads: %d\n",
 				res.Cycles, res.Seconds*1e3, res.Iterations, res.MemReads)
+		}
+		if *telPrefix != "" {
+			if err := writeTelemetry(res.Telemetry, *telPrefix, gcfg.ClockHz); err != nil {
+				fail(err)
+			}
 		}
 	case "solve":
 		start := time.Now()
@@ -106,8 +145,55 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown engine %q", *engine))
 	}
+	if *telPrefix != "" && (*engine == "ligra" || *engine == "solve") {
+		fmt.Fprintf(os.Stderr, "graphpulse: -telemetry is ignored for the host-native %s engine\n", *engine)
+	}
 
 	printTop(values, *top)
+
+	if *memProf != "" {
+		runtime.GC()
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+	}
+}
+
+// writeTelemetry exports a run's sampled series as PREFIX.csv and
+// PREFIX.trace.json (Chrome trace_event, loadable in Perfetto).
+func writeTelemetry(rec *graphpulse.Telemetry, prefix string, clockHz float64) error {
+	csvPath := prefix + ".csv"
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	tracePath := prefix + ".trace.json"
+	f, err = os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f, clockHz); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("telemetry: %d series × %d samples (%d-cycle interval) → %s, %s\n",
+		len(rec.Series()), rec.SampleCount(), rec.Interval(), csvPath, tracePath)
+	return nil
 }
 
 func loadGraph(path, rmat string, seed int64) (*graphpulse.Graph, error) {

@@ -44,6 +44,7 @@ import (
 	"graphpulse/internal/energy"
 	"graphpulse/internal/graph"
 	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/sim/telemetry"
 )
 
 // Graph is an immutable directed graph in Compressed Sparse Row form.
@@ -188,6 +189,24 @@ func Run(cfg Config, g *Graph, alg Algorithm) (*Result, error) {
 	}
 	return a.Run()
 }
+
+// TelemetryConfig enables time-resolved sampling of a simulated engine
+// (Config.Telemetry / GraphicionadoConfig.Telemetry): queue occupancy,
+// event rates, DRAM traffic and stalls, every N cycles into bounded series.
+// The zero value disables it at zero cost. See METRICS.md for the series.
+type TelemetryConfig = telemetry.Config
+
+// Telemetry is a run's sampled time series (Result.Telemetry; nil unless
+// enabled). Export with WriteCSV or WriteChromeTrace — the latter loads in
+// chrome://tracing and Perfetto.
+type Telemetry = telemetry.Recorder
+
+// TelemetrySeries is one exported probe timeline.
+type TelemetrySeries = telemetry.Series
+
+// DefaultTelemetryConfig is the sampling setup the -telemetry CLI flags use
+// (512-cycle interval, ≤4096 points per series with decimation).
+func DefaultTelemetryConfig() TelemetryConfig { return telemetry.Default() }
 
 // LigraConfig tunes the Ligra-style software baseline.
 type LigraConfig = ligra.Config

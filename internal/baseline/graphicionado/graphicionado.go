@@ -32,6 +32,7 @@ import (
 	"graphpulse/internal/graph"
 	"graphpulse/internal/mem"
 	"graphpulse/internal/sim"
+	"graphpulse/internal/sim/telemetry"
 )
 
 // Config sizes the model.
@@ -49,6 +50,9 @@ type Config struct {
 	MaxCycles uint64
 	// MaxIterations bounds the BSP loop.
 	MaxIterations int
+	// Telemetry enables time-resolved sampling (frontier size, edge
+	// throughput, DRAM traffic) into Result.Telemetry; see METRICS.md.
+	Telemetry telemetry.Config
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -94,6 +98,8 @@ type Result struct {
 	BytesMoved  int64
 	BytesUseful int64
 	Utilization float64
+	// Telemetry holds the sampled series when Config.Telemetry was enabled.
+	Telemetry *telemetry.Recorder
 }
 
 // OffChipAccesses returns total line transfers.
@@ -162,6 +168,16 @@ func Run(cfg Config, g *graph.CSR, alg algorithms.Algorithm) (*Result, error) {
 	e.memory = mem.New(cfg.Memory)
 	e.fetch = mem.NewFetcher(e.memory)
 	e.sim.Register(e.memory)
+	// The BSP loops drive e.sim.Step() directly, so a recorder registered
+	// here is ticked like any clocked block; registered after the memory so
+	// it samples end-of-cycle state.
+	tel := telemetry.New(cfg.Telemetry)
+	if tel != nil {
+		e.memory.RegisterProbes(tel, "memory")
+		tel.Gauge("frontier", "frontier_size", "vertices", func() int64 { return int64(len(e.active)) })
+		tel.Rate("frontier", "edges_traversed", "edges", func() int64 { return e.edgesTraversed })
+		e.sim.Register(tel)
+	}
 
 	n := g.NumVertices()
 	e.state = make([]float64, n)
@@ -197,6 +213,7 @@ func Run(cfg Config, g *graph.CSR, alg algorithms.Algorithm) (*Result, error) {
 		BytesMoved:     ms.Counter("bytes_transferred"),
 		BytesUseful:    ms.Counter("bytes_useful"),
 		Utilization:    e.memory.Utilization(),
+		Telemetry:      tel,
 	}
 	return res, nil
 }

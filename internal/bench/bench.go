@@ -54,6 +54,10 @@ type Options struct {
 	// elapsed wall time. Line order is completion order, so it is only
 	// deterministic at Parallel=1; keep it off a stream you diff.
 	Progress io.Writer
+	// TelemetryPath, when set, makes the timeline experiment export its
+	// sampled series as <path>.csv and <path>.trace.json (Chrome
+	// trace_event JSON; see METRICS.md).
+	TelemetryPath string
 
 	// fixedLigraSeconds, when >0, replaces the measured host wall time so
 	// tests can assert byte-identical rendered output across runs.

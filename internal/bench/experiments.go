@@ -53,6 +53,7 @@ func Experiments() []Experiment {
 		{ID: "slicing", Title: "Large-graph slicing overhead (Section IV-F)", Run: runSlicing},
 		{ID: "cluster", Title: "Multi-accelerator slicing (Section IV-F option b)", Run: runCluster},
 		{ID: "ablation", Title: "Design-choice ablations (coalescing, prefetch, streams)", Run: runAblation},
+		{ID: "timeline", Title: "Time-resolved telemetry (queue occupancy, event rate, DRAM bandwidth)", Run: runTimeline},
 	}
 }
 

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+
+	"graphpulse/internal/core"
+	"graphpulse/internal/sim/telemetry"
+)
+
+// timelineSeries are the series the timeline experiment charts: queue
+// occupancy, event throughput per interval, and DRAM bytes per interval —
+// the time-resolved signals behind the paper's occupancy and bandwidth
+// discussion (Sections IV-D, VI-B).
+var timelineSeries = []string{"queue_occupancy", "events_processed", "dram_bytes"}
+
+// runTimeline runs PR-Delta on the LJ-class workload with telemetry enabled
+// and renders the sampled series as time charts. With Options.TelemetryPath
+// set it also writes <path>.csv and <path>.trace.json (Chrome trace_event,
+// loadable in chrome://tracing and Perfetto) — see EXPERIMENTS.md
+// "Time-resolved figures".
+func runTimeline(opt Options, _ *Sweep) error {
+	w, err := ljWorkload(opt)
+	if err != nil {
+		return err
+	}
+	cfg := core.OptimizedConfig()
+	if opt.MaxCycles > 0 {
+		cfg.MaxCycles = opt.MaxCycles
+	}
+	cfg.Telemetry = telemetry.Default()
+	a, err := core.New(cfg, w.Graph, w.NewAlgorithm())
+	if err != nil {
+		return err
+	}
+	res, err := a.Run()
+	if err != nil {
+		return err
+	}
+	rec := res.Telemetry
+	fmt.Fprintf(opt.Out, "Timeline — %s on %s-class graph (%s tier): %d series × %d samples, %d-cycle interval\n",
+		algorithmTitle[w.AlgName], w.Dataset.Abbrev, opt.Tier, len(rec.Series()), rec.SampleCount(), rec.Interval())
+
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "series\tcomponent\tunit\tkind\tpeak\tlast")
+	for _, s := range rec.Series() {
+		var peak, last int64
+		for _, p := range s.Samples {
+			if p.Value > peak {
+				peak = p.Value
+			}
+			last = p.Value
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\n", s.Name, s.Component, s.Unit, s.Kind, peak, last)
+	}
+	tw.Flush()
+
+	for _, name := range timelineSeries {
+		s, ok := rec.Find(name)
+		if !ok {
+			return fmt.Errorf("bench: telemetry series %q missing", name)
+		}
+		seriesChart(opt.Out, fmt.Sprintf("\n%s over time (%s, per %d-cycle sample)", name, s.Unit, rec.Interval()),
+			len(s.Samples), []string{name}, func(_, i int) float64 { return float64(s.Samples[i].Value) }, 72)
+	}
+
+	if opt.TelemetryPath != "" {
+		csvPath, tracePath, err := writeTelemetryFiles(rec, opt.TelemetryPath, cfg.ClockHz)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(opt.Out, "\ntelemetry written: %s, %s\n", csvPath, tracePath)
+	}
+	return nil
+}
+
+// writeTelemetryFiles exports a recorder as <prefix>.csv and
+// <prefix>.trace.json, removing partial files on error.
+func writeTelemetryFiles(rec *telemetry.Recorder, prefix string, clockHz float64) (csvPath, tracePath string, err error) {
+	csvPath, tracePath = prefix+".csv", prefix+".trace.json"
+	write := func(path string, fn func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			os.Remove(path)
+			return err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(path)
+			return err
+		}
+		return nil
+	}
+	if err = write(csvPath, func(f *os.File) error { return rec.WriteCSV(f) }); err != nil {
+		return "", "", err
+	}
+	if err = write(tracePath, func(f *os.File) error { return rec.WriteChromeTrace(f, clockHz) }); err != nil {
+		os.Remove(csvPath)
+		return "", "", err
+	}
+	return csvPath, tracePath, nil
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphpulse/internal/graph/gen"
+)
+
+// TestTimelineExperimentExports runs the timeline experiment end to end with
+// a TelemetryPath and checks both export formats: the CSV must carry at least
+// the three charted series, and the trace JSON must parse as a Chrome
+// trace_event file with counter ("C") and metadata ("M") events.
+func TestTimelineExperimentExports(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "tl")
+	var buf bytes.Buffer
+	opt := Options{
+		Tier:          gen.Tiny,
+		Out:           &buf,
+		TelemetryPath: prefix,
+	}
+	if err := RunExperiments([]string{"timeline"}, opt); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Timeline —") {
+		t.Errorf("timeline header missing from output:\n%s", out)
+	}
+
+	// CSV: long format, header + rows, ≥3 distinct series including the
+	// charted ones.
+	f, err := os.Open(prefix + ".csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := []string{"cycle", "component", "series", "unit", "kind", "value"}
+	if len(rows) == 0 || strings.Join(rows[0], ",") != strings.Join(wantHeader, ",") {
+		t.Fatalf("csv header = %v, want %v", rows[0], wantHeader)
+	}
+	series := map[string]int{}
+	for _, row := range rows[1:] {
+		series[row[2]]++
+	}
+	if len(series) < 3 {
+		t.Fatalf("csv has %d distinct series, want ≥ 3: %v", len(series), series)
+	}
+	for _, name := range timelineSeries {
+		if series[name] == 0 {
+			t.Errorf("csv missing charted series %q", name)
+		}
+	}
+
+	// Trace: valid JSON with counter and process-name metadata events.
+	raw, err := os.ReadFile(prefix + ".trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			PID   int    `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace.json does not parse: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", trace.DisplayTimeUnit)
+	}
+	var counters, meta int
+	for _, ev := range trace.TraceEvents {
+		switch ev.Phase {
+		case "C":
+			counters++
+		case "M":
+			meta++
+		}
+	}
+	if counters == 0 || meta == 0 {
+		t.Fatalf("trace has %d counter and %d metadata events, want both > 0", counters, meta)
+	}
+}

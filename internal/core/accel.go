@@ -10,6 +10,7 @@ import (
 	"graphpulse/internal/mem"
 	"graphpulse/internal/sim"
 	"graphpulse/internal/sim/stats"
+	"graphpulse/internal/sim/telemetry"
 )
 
 // Figure 13's chronological execution stages.
@@ -93,6 +94,11 @@ type Accelerator struct {
 	roundLook      [LookaheadBuckets]int64
 	snapInserted   int64
 	snapCoalesced  int64
+	// foldInserted/foldCoalesced accumulate earlier rounds' queue counters
+	// so telemetry rate probes stay monotone across per-slice queue
+	// replacement (activateSlice builds a fresh queue with zeroed counters).
+	foldInserted  int64
+	foldCoalesced int64
 
 	// Cumulative counters.
 	eventsProcessed   int64
@@ -103,7 +109,8 @@ type Accelerator struct {
 	extraVertexUseful int64
 
 	stage *stats.StageTimer
-	trace *tracer // nil unless Config.TraceVertices
+	trace *tracer             // nil unless Config.TraceVertices
+	tel   *telemetry.Recorder // nil unless Config.Telemetry is enabled
 }
 
 // New builds an accelerator for running alg over g. The graph is partitioned
@@ -171,6 +178,13 @@ func New(cfg Config, g *graph.CSR, alg algorithms.Algorithm) (*Accelerator, erro
 		first = 0
 	}
 	a.activateSlice(first, false)
+	// The recorder is registered last so it samples end-of-cycle state
+	// after every block (memory, accelerator) has ticked; probes only read,
+	// so results are bit-identical with telemetry on or off.
+	if a.tel = telemetry.New(cfg.Telemetry); a.tel != nil {
+		a.registerTelemetry(a.tel, "")
+		a.engine.Register(a.tel)
+	}
 	return a, nil
 }
 
@@ -520,6 +534,8 @@ func (a *Accelerator) endRound() {
 		Lookahead: a.roundLook,
 	}
 	a.roundLog = append(a.roundLog, rs)
+	a.foldInserted += rs.Produced
+	a.foldCoalesced += rs.Coalesced
 	a.snapInserted = a.queue.inserted
 	a.snapCoalesced = a.queue.coalesced
 	a.roundProcessed = 0
@@ -577,6 +593,7 @@ func (a *Accelerator) result() *Result {
 	if a.trace != nil {
 		r.Trace = a.trace.entries
 	}
+	r.Telemetry = a.tel
 	// Coalesced counts from earlier slices' queues are folded into the
 	// round log; recompute the total from it.
 	r.EventsCoalesced = 0

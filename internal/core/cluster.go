@@ -8,6 +8,7 @@ import (
 	"graphpulse/internal/graph/partition"
 	"graphpulse/internal/mem"
 	"graphpulse/internal/sim"
+	"graphpulse/internal/sim/telemetry"
 )
 
 // Cluster is the multi-accelerator execution strategy the paper sketches
@@ -37,6 +38,8 @@ type Cluster struct {
 	inflight [][]linkMsg
 
 	sent, delivered int64
+
+	tel *telemetry.Recorder // shared across chips; nil when disabled
 }
 
 type linkMsg struct {
@@ -113,6 +116,10 @@ func NewCluster(cfg ClusterConfig, g *graph.CSR, alg algorithms.Algorithm) (*Clu
 		state[v] = alg.InitState(graph.VertexID(v))
 	}
 	initial := alg.InitialEvents(g)
+	// One recorder shared by all chips and the interconnect, registered
+	// last so it samples end-of-cycle state; probe components are prefixed
+	// "chipN/" per chip.
+	cl.tel = telemetry.New(cfg.Chip.Telemetry)
 	for i, sl := range cl.slices {
 		chipCfg := cfg.Chip
 		chipCfg.Name = fmt.Sprintf("%s-chip%d", chipCfg.Name, i)
@@ -124,8 +131,16 @@ func NewCluster(cfg ClusterConfig, g *graph.CSR, alg algorithms.Algorithm) (*Clu
 		cl.chips = append(cl.chips, chip)
 		cl.engine.Register(chip.memory)
 		cl.engine.Register(chip)
+		if cl.tel != nil {
+			chip.tel = cl.tel
+			chip.registerTelemetry(cl.tel, fmt.Sprintf("chip%d/", i))
+		}
 	}
 	cl.engine.Register(cl)
+	if cl.tel != nil {
+		cl.registerTelemetry(cl.tel)
+		cl.engine.Register(cl.tel)
+	}
 	return cl, nil
 }
 
@@ -267,6 +282,9 @@ type ClusterResult struct {
 	OffChipAccesses int64
 	// PerChip carries each chip's full result.
 	PerChip []*Result
+	// Telemetry is the cluster-wide recorder ("chipN/…" and "interconnect"
+	// components) when Chip.Telemetry was enabled; nil otherwise.
+	Telemetry *telemetry.Recorder
 }
 
 // Run simulates the cluster to global termination.
@@ -284,6 +302,7 @@ func (cl *Cluster) Run() (*ClusterResult, error) {
 		Seconds:         cl.engine.SecondsAt(cl.cfg.Chip.ClockHz),
 		Chips:           len(cl.chips),
 		InterChipEvents: cl.delivered,
+		Telemetry:       cl.tel,
 	}
 	for _, chip := range cl.chips {
 		r := chip.result()

@@ -4,6 +4,32 @@
 // units, and a prefetching memory path — the architecture of Sections III–V
 // of the paper, at the same structural cycle-level abstraction the authors
 // simulated.
+//
+// # Event flow
+//
+// One event's life, and the blocks that model it:
+//
+//	generation streams ──new events──▶ crossbar ──▶ coalescing queue banks
+//	        ▲                                             │ (merge on hit)
+//	        │ vertex updates                              ▼ round scheduler
+//	   processors ◀──staged events── prefetcher ◀── drained bins
+//	        │                              ▲
+//	        └───vertex/edge reads──▶ DDR3 model (internal/mem)
+//
+// New is the single entry point: it wires these units onto a sim.Engine,
+// slices graphs that exceed on-chip capacity (Section IV-F), and Run ticks
+// the whole design to convergence. NewCluster replicates the chip and adds
+// a latency/bandwidth-limited interconnect between slices.
+//
+// # Observability
+//
+// Every run returns aggregate counters and per-stage timings in Result.
+// Config.TraceVertices records per-vertex event traces; Config.Telemetry
+// attaches a sampling recorder (internal/sim/telemetry) that captures queue
+// occupancy, event rates, stalls, and DRAM traffic as bounded time series —
+// zero-cost when disabled and read-only when enabled, so results are
+// bit-identical either way. METRICS.md at the repository root catalogues
+// every metric name these layers emit.
 package core
 
 import (
@@ -11,6 +37,7 @@ import (
 
 	"graphpulse/internal/graph"
 	"graphpulse/internal/mem"
+	"graphpulse/internal/sim/telemetry"
 )
 
 // Config describes one accelerator build. Two presets reproduce the paper's
@@ -93,6 +120,12 @@ type Config struct {
 	// recorded into Result.Trace (debugging; empty = tracing off).
 	TraceVertices []graph.VertexID
 
+	// Telemetry enables time-resolved sampling of queue occupancy, event
+	// rates, DRAM traffic and unit stalls into Result.Telemetry (see
+	// METRICS.md). The zero value disables it at zero cost; sampling only
+	// reads state, so enabling it never changes simulation results.
+	Telemetry telemetry.Config
+
 	// Memory configures the off-chip DRAM model.
 	Memory mem.Config
 	// ClockHz converts cycles to time (1 GHz).
@@ -172,6 +205,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: ClockHz=%g", c.ClockHz)
 	case c.MaxCycles == 0:
 		return fmt.Errorf("core: MaxCycles=0")
+	case c.Telemetry.MaxSamples < 0:
+		return fmt.Errorf("core: Telemetry.MaxSamples=%d", c.Telemetry.MaxSamples)
 	}
 	return c.Memory.Validate()
 }

@@ -1,5 +1,7 @@
 package core
 
+import "graphpulse/internal/sim/telemetry"
+
 // LookaheadBuckets is the number of Figure 8 lookahead classes:
 // 0, <100, <200, <300, <400, ≥400.
 const LookaheadBuckets = 6
@@ -103,6 +105,11 @@ type Result struct {
 	// Trace holds the recorded entries for Config.TraceVertices (empty
 	// unless tracing was enabled).
 	Trace []TraceEntry
+
+	// Telemetry holds the sampled time series when Config.Telemetry was
+	// enabled (nil otherwise). Export with WriteCSV / WriteChromeTrace;
+	// every series is documented in METRICS.md.
+	Telemetry *telemetry.Recorder
 }
 
 // OffChipAccesses returns total line transfers (Figure 11's metric).

@@ -12,12 +12,18 @@
 // Two counters feed the paper's figures directly:
 //   - total line transfers → Figure 11 (off-chip accesses),
 //   - useful bytes vs transferred bytes → Figure 12 (data utilization).
+//
+// Stats exposes the full counter set (reads, writes, row hits/misses,
+// bytes, rejects, refreshes, and a latency histogram) as a stats.Set, and
+// RegisterProbes wires the same counters into a telemetry.Recorder as
+// time-resolved series. METRICS.md documents every name.
 package mem
 
 import (
 	"fmt"
 
 	"graphpulse/internal/sim/stats"
+	"graphpulse/internal/sim/telemetry"
 )
 
 // LineBytes is the off-chip transfer granularity (one DRAM burst).
@@ -176,6 +182,18 @@ func (m *Memory) Stats() *stats.Set {
 	set("queue_rejects", m.rejects)
 	set("refreshes", m.refreshes)
 	return m.stats
+}
+
+// RegisterProbes wires this memory's traffic counters into a telemetry
+// Recorder under the given component name (see METRICS.md for the series).
+// Safe on a nil Recorder (telemetry disabled).
+func (m *Memory) RegisterProbes(r *telemetry.Recorder, component string) {
+	r.Rate(component, "dram_bytes", "bytes", func() int64 { return m.bytesMoved })
+	r.Rate(component, "dram_reads", "lines", func() int64 { return m.reads })
+	r.Rate(component, "dram_writes", "lines", func() int64 { return m.writes })
+	r.Rate(component, "dram_row_hits", "accesses", func() int64 { return m.rowHits })
+	r.Rate(component, "dram_row_misses", "accesses", func() int64 { return m.rowMisses })
+	r.Gauge(component, "dram_pending", "requests", func() int64 { return int64(m.Pending()) })
 }
 
 // Transfers returns the total number of off-chip line transfers so far.

@@ -6,6 +6,13 @@
 // Simulation Toolkit): components are structural blocks exchanging work
 // through explicit buffers, advanced one clock edge at a time. At the
 // modeled 1 GHz, one tick is one nanosecond.
+//
+// Two subpackages provide the measurement layer: sim/stats (named counters,
+// histograms, and per-stage timers rendered deterministically) and
+// sim/telemetry (a sampling recorder that is itself a Component — register
+// it last so it observes end-of-cycle state — capturing probe values every
+// N cycles into bounded time series). METRICS.md at the repository root
+// documents every metric name built on these.
 package sim
 
 import (

@@ -18,7 +18,9 @@ import (
 type Set struct {
 	counters   map[string]int64
 	histograms map[string]*Histogram
-	order      []string
+	// order lists every counter and histogram name in first-registration
+	// order; Report and Names render from it so output is deterministic.
+	order []string
 }
 
 // NewSet returns an empty Set.
@@ -55,13 +57,42 @@ func (s *Set) Histogram(name string, buckets []int64) *Histogram {
 	if h, ok := s.histograms[name]; ok {
 		return h
 	}
+	s.order = append(s.order, name)
 	h := NewHistogram(buckets)
 	s.histograms[name] = h
 	return h
 }
 
+// Names returns every counter and histogram name in first-registration
+// order (the order Report renders).
+func (s *Set) Names() []string { return append([]string(nil), s.order...) }
+
 // Histograms returns the live histogram map (not a copy); report code only.
 func (s *Set) Histograms() map[string]*Histogram { return s.histograms }
+
+// Report renders every counter and histogram in first-registration order —
+// fully deterministic, including the counter/histogram interleaving (both
+// kinds share one order list; map iteration never decides placement).
+// Histograms render as a summary line followed by their buckets.
+func (s *Set) Report() string {
+	var b strings.Builder
+	for _, n := range s.order {
+		if v, ok := s.counters[n]; ok {
+			fmt.Fprintf(&b, "%-40s %d\n", n, v)
+		}
+		if h, ok := s.histograms[n]; ok {
+			fmt.Fprintf(&b, "%-40s count=%d mean=%.2f max=%d\n", n, h.Count(), h.Mean(), h.Max())
+			for _, bk := range h.Buckets() {
+				label := "  >overflow"
+				if bk.UpperBound >= 0 {
+					label = fmt.Sprintf("  ≤%d", bk.UpperBound)
+				}
+				fmt.Fprintf(&b, "%-40s %d\n", label, bk.Count)
+			}
+		}
+	}
+	return b.String()
+}
 
 // String renders counters sorted by name, one per line.
 func (s *Set) String() string {

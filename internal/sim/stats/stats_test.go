@@ -160,3 +160,49 @@ func TestPropertyHistogramConservation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestReportGolden pins Report()'s exact output: counters and histograms
+// interleave in first-registration order, with histogram buckets inline.
+// Any nondeterminism (map-ordered rendering) or format drift fails here.
+func TestReportGolden(t *testing.T) {
+	s := NewSet()
+	s.Add("reads", 3)
+	h := s.Histogram("latency", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(500)
+	s.Add("writes", 1)
+	s.Add("reads", 4) // re-adding must not re-order
+
+	got := s.Report()
+	wantExact := "reads                                    7\n" +
+		"latency                                  count=2 mean=252.50 max=500\n" +
+		"  ≤10                                    1\n" +
+		"  ≤100                                   0\n" +
+		"  >overflow                              1\n" +
+		"writes                                   1\n"
+	if got != wantExact {
+		t.Fatalf("Report mismatch:\n got:\n%s\nwant:\n%s", got, wantExact)
+	}
+	for i := 0; i < 100; i++ {
+		if s.Report() != got {
+			t.Fatal("Report is not deterministic across calls")
+		}
+	}
+}
+
+func TestNamesIncludesHistograms(t *testing.T) {
+	s := NewSet()
+	s.Add("a", 1)
+	s.Histogram("h", []int64{1})
+	s.Add("b", 1)
+	got := s.Names()
+	want := []string{"a", "h", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Command lintdoc keeps METRICS.md in sync with the metrics the simulator
+// actually emits. It runs tiny telemetry-enabled simulations of every engine
+// (accelerator, cluster, Graphicionado baseline), collects each registered
+// series name plus the DDR3 stats.Set counter names and the stage/state
+// keys, and fails if any collected name is not mentioned in METRICS.md in
+// backticks. CI runs it (`go run ./internal/sim/telemetry/lintdoc`) and
+// `go test` covers the same check.
+package main
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/baseline/graphicionado"
+	"graphpulse/internal/core"
+	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/mem"
+	"graphpulse/internal/sim/telemetry"
+)
+
+// telCfg samples aggressively on the tiny lint graphs so every probe
+// registers and records.
+var telCfg = telemetry.Config{Interval: 8, MaxSamples: 64}
+
+// emittedNames runs each engine once on a tiny graph and returns every
+// metric name the build can emit, sorted and deduplicated.
+func emittedNames() ([]string, error) {
+	g, err := gen.RMAT(gen.RMATParams{
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05, Scale: 8, EdgeFactor: 8,
+		Weighted: true, Seed: 7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	add := func(names ...string) {
+		for _, n := range names {
+			seen[n] = true
+		}
+	}
+
+	// Accelerator telemetry series.
+	acfg := core.OptimizedConfig()
+	acfg.Telemetry = telCfg
+	a, err := core.New(acfg, g, algorithms.NewPageRankDelta())
+	if err != nil {
+		return nil, err
+	}
+	ares, err := a.Run()
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range ares.Telemetry.Series() {
+		add(s.Name)
+	}
+
+	// Cluster adds the interconnect series.
+	ccfg := core.DefaultClusterConfig()
+	ccfg.Chips = 2
+	ccfg.Chip.Telemetry = telCfg
+	cl, err := core.NewCluster(ccfg, g, algorithms.NewPageRankDelta())
+	if err != nil {
+		return nil, err
+	}
+	cres, err := cl.Run()
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range cres.Telemetry.Series() {
+		add(s.Name)
+	}
+
+	// Graphicionado adds the frontier series.
+	gcfg := graphicionado.DefaultConfig()
+	gcfg.Telemetry = telCfg
+	gres, err := graphicionado.Run(gcfg, g, algorithms.NewPageRankDelta())
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range gres.Telemetry.Series() {
+		add(s.Name)
+	}
+
+	// DDR3 stats.Set counters and the latency histogram.
+	add(mem.New(mem.DefaultConfig()).Stats().Names()...)
+
+	// Stage-timer and unit-state keys surfaced through core.Result.
+	add(core.StageNames...)
+	for k := range ares.ProcBreakdown {
+		add(k)
+	}
+	for k := range ares.GenBreakdown {
+		add(k)
+	}
+
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+var backtickRE = regexp.MustCompile("`([^`]+)`")
+
+// check verifies every emitted metric name appears in the doc at docPath
+// inside backticks. `dram_*`-style globs in the doc cover matching names.
+func check(docPath string) error {
+	raw, err := os.ReadFile(docPath)
+	if err != nil {
+		return err
+	}
+	documented := map[string]bool{}
+	var globs []string
+	for _, m := range backtickRE.FindAllStringSubmatch(string(raw), -1) {
+		name := m[1]
+		documented[name] = true
+		if n := len(name); n > 1 && name[n-1] == '*' {
+			globs = append(globs, name[:n-1])
+		}
+	}
+	covered := func(name string) bool {
+		if documented[name] {
+			return true
+		}
+		for _, prefix := range globs {
+			if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+				return true
+			}
+		}
+		return false
+	}
+
+	names, err := emittedNames()
+	if err != nil {
+		return err
+	}
+	var missing []string
+	for _, n := range names {
+		if !covered(n) {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("lintdoc: %s is stale — undocumented metric names: %v", docPath, missing)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMetricsDocIsCurrent is the staleness check CI runs: METRICS.md must
+// name every counter and telemetry series the engines emit.
+func TestMetricsDocIsCurrent(t *testing.T) {
+	if err := check(filepath.Join("..", "..", "..", "..", "METRICS.md")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckFlagsUndocumentedNames proves the linter actually fails on a doc
+// that omits an emitted name.
+func TestCheckFlagsUndocumentedNames(t *testing.T) {
+	stale := filepath.Join(t.TempDir(), "METRICS.md")
+	if err := os.WriteFile(stale, []byte("# Metrics\n\nOnly `queue_occupancy` here.\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(stale); err == nil {
+		t.Fatal("check accepted a doc missing nearly every metric")
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	doc := "METRICS.md"
+	if len(os.Args) > 1 {
+		doc = os.Args[1]
+	}
+	if err := check(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("lintdoc: %s documents every emitted metric\n", doc)
+}

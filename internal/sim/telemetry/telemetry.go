@@ -1,0 +1,259 @@
+// Package telemetry samples time-resolved measurements out of a running
+// simulation: any clocked component registers probes (queue occupancy,
+// events per interval, DRAM bytes transferred, processor stall cycles …)
+// with a Recorder, which reads them every Interval cycles into bounded
+// in-memory time series.
+//
+// The Recorder itself is a sim.Component: register it on the engine after
+// every block it observes and it samples end-of-cycle architectural state,
+// which makes the series a pure function of the simulation — bit-identical
+// across runs — and guarantees sampling never perturbs the simulated
+// machine (probes only read).
+//
+// The zero Config disables telemetry: New returns a nil *Recorder, every
+// method on which is a no-op, so a disabled build registers nothing on the
+// engine and the simulation hot path is untouched (see
+// BenchmarkAccelDisabledTelemetry in internal/core).
+//
+// Memory is bounded by decimation rather than by discarding history: when a
+// series reaches MaxSamples points the Recorder halves its resolution —
+// adjacent rate samples are summed, gauges keep the later point — and
+// doubles the sampling interval, so a run of any length yields a
+// whole-run timeline of at most MaxSamples points.
+//
+// Export formats: WriteCSV (long-form rows for plotting and the cmd/bench
+// charts) and WriteChromeTrace (Chrome trace_event JSON with one counter
+// track per component, loadable in chrome://tracing and Perfetto). Both are
+// documented in METRICS.md, which a CI linter keeps in sync with the series
+// actually emitted (internal/sim/telemetry/lintdoc).
+package telemetry
+
+// Config enables and sizes time-series sampling. The zero value disables
+// telemetry entirely.
+type Config struct {
+	// Interval is the sampling period in cycles; 0 disables telemetry.
+	// Long runs decimate: the effective interval doubles whenever a series
+	// would exceed MaxSamples.
+	Interval uint64
+	// MaxSamples bounds each series' point count (and hence memory).
+	// 0 means DefaultMaxSamples. Rounded up to an even value ≥ 16.
+	MaxSamples int
+}
+
+// Enabled reports whether this configuration records anything.
+func (c Config) Enabled() bool { return c.Interval > 0 }
+
+// DefaultMaxSamples is the per-series point bound used when
+// Config.MaxSamples is 0.
+const DefaultMaxSamples = 4096
+
+// DefaultInterval is the sampling period the command-line tools use.
+const DefaultInterval = 512
+
+// Default returns the sampling configuration the -telemetry flags enable.
+func Default() Config {
+	return Config{Interval: DefaultInterval, MaxSamples: DefaultMaxSamples}
+}
+
+// Kind distinguishes how a probe's reads become series values.
+type Kind uint8
+
+const (
+	// Gauge probes report an instantaneous level (queue occupancy, requests
+	// in flight); the series stores the value read at each sample cycle.
+	Gauge Kind = iota
+	// Rate probes read a cumulative counter; the series stores the delta
+	// accrued over each sampling interval.
+	Rate
+)
+
+// String returns "gauge" or "rate".
+func (k Kind) String() string {
+	if k == Rate {
+		return "rate"
+	}
+	return "gauge"
+}
+
+// Sample is one time-series point. For Rate series the value covers the
+// interval ending at Cycle.
+type Sample struct {
+	Cycle uint64
+	Value int64
+}
+
+// Series is one exported probe timeline.
+type Series struct {
+	// Component is the hardware block the probe observes ("queue",
+	// "memory", "chip2/proc" …) — one trace track per component.
+	Component string
+	// Name is the measurement ("queue_occupancy", "dram_bytes" …); names
+	// are the unit of METRICS.md documentation.
+	Name string
+	// Unit is the value's unit ("events", "bytes", "cycles" …).
+	Unit string
+	Kind Kind
+	// Samples is chronological; shared decimation keeps every series the
+	// same length with the same cycle stamps.
+	Samples []Sample
+}
+
+type probe struct {
+	component, name, unit string
+	kind                  Kind
+	fn                    func() int64
+	last                  int64 // previous cumulative read (Rate only)
+	values                []int64
+}
+
+// Recorder owns the registered probes and their sampled series. A nil
+// *Recorder is the disabled state: every method is a no-op, so callers wire
+// probes unconditionally and pay nothing when telemetry is off.
+type Recorder struct {
+	cfg      Config
+	interval uint64 // current effective interval (doubles on decimation)
+	next     uint64 // next cycle to sample at
+	cycles   []uint64
+	probes   []*probe
+}
+
+// New builds a Recorder, or returns nil when cfg is disabled.
+func New(cfg Config) *Recorder {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if cfg.MaxSamples <= 0 {
+		cfg.MaxSamples = DefaultMaxSamples
+	}
+	if cfg.MaxSamples < 16 {
+		cfg.MaxSamples = 16
+	}
+	cfg.MaxSamples += cfg.MaxSamples % 2 // decimation halves pairs
+	return &Recorder{cfg: cfg, interval: cfg.Interval}
+}
+
+// Gauge registers an instantaneous-level probe. fn is called at each sample
+// cycle; it must only read simulation state.
+func (r *Recorder) Gauge(component, name, unit string, fn func() int64) {
+	r.register(component, name, unit, Gauge, fn)
+}
+
+// Rate registers a cumulative-counter probe; the series records per-interval
+// deltas. fn must be monotone non-decreasing for the deltas to be
+// meaningful, and must only read simulation state.
+func (r *Recorder) Rate(component, name, unit string, fn func() int64) {
+	r.register(component, name, unit, Rate, fn)
+}
+
+func (r *Recorder) register(component, name, unit string, kind Kind, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	p := &probe{component: component, name: name, unit: unit, kind: kind, fn: fn}
+	// Probes registered after sampling started backfill zeros so every
+	// series keeps the shared cycle stamps.
+	if n := len(r.cycles); n > 0 {
+		p.values = make([]int64, n)
+	}
+	if p.kind == Rate {
+		p.last = fn()
+	}
+	r.probes = append(r.probes, p)
+}
+
+// Name implements sim.Component.
+func (r *Recorder) Name() string { return "telemetry" }
+
+// Tick implements sim.Component: samples every probe when the cycle counter
+// crosses the current interval boundary. Register the Recorder after the
+// blocks it observes so it reads end-of-cycle state.
+func (r *Recorder) Tick(cycle uint64) {
+	if r == nil || cycle < r.next {
+		return
+	}
+	r.next = cycle + r.interval
+	r.cycles = append(r.cycles, cycle)
+	for _, p := range r.probes {
+		v := p.fn()
+		if p.kind == Rate {
+			v, p.last = v-p.last, v
+		}
+		p.values = append(p.values, v)
+	}
+	if len(r.cycles) >= r.cfg.MaxSamples {
+		r.decimate()
+	}
+}
+
+// decimate halves every series: rate pairs are summed (deltas stay exact),
+// gauges keep the later point of each pair, and the effective interval
+// doubles. The kept stamps are each pair's second sample cycle.
+func (r *Recorder) decimate() {
+	m := len(r.cycles) / 2
+	for i := 0; i < m; i++ {
+		r.cycles[i] = r.cycles[2*i+1]
+	}
+	r.cycles = r.cycles[:m]
+	for _, p := range r.probes {
+		for i := 0; i < m; i++ {
+			if p.kind == Rate {
+				p.values[i] = p.values[2*i] + p.values[2*i+1]
+			} else {
+				p.values[i] = p.values[2*i+1]
+			}
+		}
+		p.values = p.values[:m]
+	}
+	r.interval *= 2
+}
+
+// Interval returns the current effective sampling interval in cycles (the
+// configured interval times 2 per decimation). 0 when disabled.
+func (r *Recorder) Interval() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.interval
+}
+
+// SampleCount returns the number of points currently held per series.
+func (r *Recorder) SampleCount() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.cycles)
+}
+
+// Series exports every probe's timeline in registration order. The returned
+// slices are copies; nil when the Recorder is disabled.
+func (r *Recorder) Series() []Series {
+	if r == nil {
+		return nil
+	}
+	out := make([]Series, 0, len(r.probes))
+	for _, p := range r.probes {
+		s := Series{
+			Component: p.component,
+			Name:      p.name,
+			Unit:      p.unit,
+			Kind:      p.kind,
+			Samples:   make([]Sample, len(p.values)),
+		}
+		for i, v := range p.values {
+			s.Samples[i] = Sample{Cycle: r.cycles[i], Value: v}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Find returns the first series with the given name (any component) and
+// whether one exists.
+func (r *Recorder) Find(name string) (Series, bool) {
+	for _, s := range r.Series() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
