@@ -3,7 +3,7 @@
 // Usage:
 //
 //	bench [-exp fig10,fig11] [-tier tiny|mini|full] [-datasets LJ,WG] [-algs pr,bfs]
-//	      [-parallel N] [-progress]
+//	      [-parallel N] [-progress] [-timeout 10m] [-manifest run.json] [-resume]
 //
 // With no -exp it runs every experiment in paper order. Tier controls
 // workload scale: tiny (seconds, default), mini (minutes), full
@@ -12,6 +12,14 @@
 // GOMAXPROCS; the host-timed Ligra phase always runs serially), and
 // -progress prints per-cell completion lines to stderr. Table output is
 // byte-identical for every -parallel value.
+//
+// Long sweeps are resilient: -timeout bounds each simulated-engine job
+// (an overrunning job records a structured failure in its cell instead of
+// wedging the sweep), -manifest records every completed job to a JSON file
+// rewritten atomically after each one, and -resume restores those jobs on
+// the next run instead of re-measuring them — the resumed CSV and tables
+// are byte-identical to an uninterrupted run. -faults passes an explicit
+// fault spec (see ROADMAP/EXPERIMENTS) to the "faults" experiment.
 //
 // -telemetry PREFIX makes the timeline experiment export its time series as
 // PREFIX.csv and PREFIX.trace.json (Chrome trace_event; loads in Perfetto —
@@ -33,10 +41,10 @@ import (
 
 func main() {
 	var (
-		expFlag     = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		tierFlag    = flag.String("tier", "tiny", "workload scale: tiny|mini|full")
-		datasetFlag = flag.String("datasets", "", "comma-separated Table IV abbreviations (WG,FB,WK,LJ,TW)")
-		algFlag     = flag.String("algs", "", "comma-separated algorithms (pr,ads,sssp,bfs,cc)")
+		expFlag      = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		tierFlag     = flag.String("tier", "tiny", "workload scale: tiny|mini|full")
+		datasetFlag  = flag.String("datasets", "", "comma-separated Table IV abbreviations (WG,FB,WK,LJ,TW)")
+		algFlag      = flag.String("algs", "", "comma-separated algorithms (pr,ads,sssp,bfs,cc)")
 		listFlag     = flag.Bool("list", false, "list experiment ids and exit")
 		csvFlag      = flag.String("csv", "", "also write the engine sweep as CSV to this path")
 		parallelFlag = flag.Int("parallel", 0, "simulated-engine sweep workers (0 = GOMAXPROCS; ligra phase is always serial)")
@@ -44,6 +52,10 @@ func main() {
 		telFlag      = flag.String("telemetry", "", "write the timeline experiment's series to PREFIX.csv and PREFIX.trace.json")
 		cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile of the harness to this file")
 		memProfFlag  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		timeoutFlag  = flag.Duration("timeout", 0, "wall-clock limit per simulated-engine sweep job (0 = unbounded)")
+		manifestFlag = flag.String("manifest", "", "maintain a resumable run manifest (JSON, rewritten atomically after each sweep job)")
+		resumeFlag   = flag.Bool("resume", false, "restore completed jobs from the -manifest file instead of re-running them")
+		faultsFlag   = flag.String("faults", "", "fault spec for the faults experiment, e.g. drop=1e-4,seed=7 (default: built-in rate sweep)")
 	)
 	flag.Parse()
 
@@ -86,6 +98,10 @@ func main() {
 		CSVPath:       *csvFlag,
 		Parallel:      *parallelFlag,
 		TelemetryPath: *telFlag,
+		Timeout:       *timeoutFlag,
+		Manifest:      *manifestFlag,
+		Resume:        *resumeFlag,
+		FaultSpec:     *faultsFlag,
 	}
 	if *progressFlag {
 		opt.Progress = os.Stderr

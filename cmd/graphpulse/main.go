@@ -17,13 +17,22 @@
 // PREFIX.trace.json — the latter loads in chrome://tracing and Perfetto
 // (see METRICS.md and EXPERIMENTS.md "Time-resolved figures").
 // -cpuprofile/-memprofile write Go pprof profiles of the simulator itself.
+//
+// Robustness controls (README "Robustness & fault injection"):
+//
+//	graphpulse -alg pr -rmat 16x12 -faults drop=1e-4,seed=7    # seeded fault injection
+//	graphpulse -alg sssp -rmat 16x12 -checkpoint run.ck        # periodic checkpoints
+//	graphpulse -alg sssp -rmat 16x12 -resume run.ck            # continue from one
+//	graphpulse -alg pr -rmat 20x16 -timeout 5m                 # wall-clock bound
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -33,6 +42,7 @@ import (
 	"time"
 
 	"graphpulse"
+	"graphpulse/internal/atomicio"
 )
 
 func main() {
@@ -49,6 +59,11 @@ func main() {
 		telPrefix = flag.String("telemetry", "", "write time-series telemetry to PREFIX.csv and PREFIX.trace.json (simulated engines only)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		faultSpec = flag.String("faults", "", "inject seeded deterministic faults, e.g. drop=1e-4,bitflip=1e-5,seed=7 (accel engines; dram class also applies to graphicionado)")
+		ckPath    = flag.String("checkpoint", "", "periodically write a restartable checkpoint to this file (accel engines only)")
+		ckEvery   = flag.Uint64("checkpoint-every", 1_000_000, "cycles between checkpoints (with -checkpoint)")
+		resumeCk  = flag.String("resume", "", "resume an accel run from a checkpoint file (same graph/alg/config required)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit for simulated engines (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -74,6 +89,19 @@ func main() {
 	fmt.Printf("graph: %d vertices, %d edges; algorithm: %s; engine: %s\n",
 		g.NumVertices(), g.NumEdges(), alg.Name(), *engine)
 
+	var faults graphpulse.FaultConfig
+	if *faultSpec != "" {
+		if faults, err = graphpulse.ParseFaultSpec(*faultSpec); err != nil {
+			fail(err)
+		}
+	}
+	opts := graphpulse.RunOptions{}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Ctx = ctx
+	}
+
 	var values []float64
 	switch *engine {
 	case "accel", "accel-base":
@@ -87,9 +115,29 @@ func main() {
 		if *telPrefix != "" {
 			cfg.Telemetry = graphpulse.DefaultTelemetryConfig()
 		}
-		res, err := graphpulse.Run(cfg, g, alg)
-		if err != nil {
-			fail(err)
+		cfg.Fault = faults
+		if *ckPath != "" {
+			opts.CheckpointEvery = *ckEvery
+			opts.OnCheckpoint = func(ck *graphpulse.Checkpoint) error {
+				return graphpulse.WriteCheckpoint(*ckPath, ck)
+			}
+		}
+		var res *graphpulse.Result
+		if *resumeCk != "" {
+			ck, err := graphpulse.ReadCheckpoint(*resumeCk)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("resuming from %s: cycle %d, round %d, %d queued + %d spilled events\n",
+				*resumeCk, ck.Cycle, ck.Round, len(ck.Queue), spillTotal(ck))
+			res, err = graphpulse.ResumeFromCheckpoint(cfg, g, alg, ck, opts)
+			if err != nil {
+				fail(err)
+			}
+		} else {
+			if res, err = graphpulse.RunWith(cfg, g, alg, opts); err != nil {
+				fail(err)
+			}
 		}
 		values = res.Values
 		if *stats {
@@ -100,6 +148,11 @@ func main() {
 				100*float64(res.EventsCoalesced)/float64(res.EventsEmitted+1))
 			fmt.Printf("off-chip: %d reads, %d writes, %.1f%% of bytes utilized\n",
 				res.MemReads, res.MemWrites, 100*res.Utilization)
+			if res.FaultsInjected != nil {
+				fmt.Printf("faults injected: %s; redelivered %d, dram retries %d, spill-recovered %d\n",
+					graphpulse.FormatFaultSnapshot(res.FaultsInjected),
+					res.RedeliveredEvents, res.MemRetries, res.SpillRecovered)
+			}
 		}
 		if *telPrefix != "" {
 			if err := writeTelemetry(res.Telemetry, *telPrefix, cfg.ClockHz); err != nil {
@@ -120,7 +173,8 @@ func main() {
 		if *telPrefix != "" {
 			gcfg.Telemetry = graphpulse.DefaultTelemetryConfig()
 		}
-		res, err := graphpulse.RunGraphicionado(gcfg, g, alg)
+		gcfg.Fault = faults
+		res, err := graphpulse.RunGraphicionadoCtx(opts.Ctx, gcfg, g, alg)
 		if err != nil {
 			fail(err)
 		}
@@ -165,35 +219,30 @@ func main() {
 }
 
 // writeTelemetry exports a run's sampled series as PREFIX.csv and
-// PREFIX.trace.json (Chrome trace_event, loadable in Perfetto).
+// PREFIX.trace.json (Chrome trace_event, loadable in Perfetto). Each file
+// is written atomically so an interrupted export never leaves a truncated
+// file behind.
 func writeTelemetry(rec *graphpulse.Telemetry, prefix string, clockHz float64) error {
 	csvPath := prefix + ".csv"
-	f, err := os.Create(csvPath)
-	if err != nil {
-		return err
-	}
-	if err := rec.WriteCSV(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := atomicio.WriteFile(csvPath, func(w io.Writer) error { return rec.WriteCSV(w) }); err != nil {
 		return err
 	}
 	tracePath := prefix + ".trace.json"
-	f, err = os.Create(tracePath)
-	if err != nil {
-		return err
-	}
-	if err := rec.WriteChromeTrace(f, clockHz); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := atomicio.WriteFile(tracePath, func(w io.Writer) error { return rec.WriteChromeTrace(w, clockHz) }); err != nil {
 		return err
 	}
 	fmt.Printf("telemetry: %d series × %d samples (%d-cycle interval) → %s, %s\n",
 		len(rec.Series()), rec.SampleCount(), rec.Interval(), csvPath, tracePath)
 	return nil
+}
+
+// spillTotal counts a checkpoint's spilled events across slices.
+func spillTotal(ck *graphpulse.Checkpoint) int {
+	n := 0
+	for _, s := range ck.Spill {
+		n += len(s)
+	}
+	return n
 }
 
 func loadGraph(path, rmat string, seed int64) (*graphpulse.Graph, error) {

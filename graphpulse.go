@@ -35,6 +35,7 @@
 package graphpulse
 
 import (
+	"context"
 	"io"
 
 	"graphpulse/internal/algorithms"
@@ -44,6 +45,8 @@ import (
 	"graphpulse/internal/energy"
 	"graphpulse/internal/graph"
 	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/sim"
+	"graphpulse/internal/sim/fault"
 	"graphpulse/internal/sim/telemetry"
 )
 
@@ -190,6 +193,69 @@ func Run(cfg Config, g *Graph, alg Algorithm) (*Result, error) {
 	return a.Run()
 }
 
+// RunOptions adds run control to an accelerator simulation: wall-clock
+// cancellation via a context, and periodic checkpoints taken at scheduler
+// round barriers.
+type RunOptions = core.RunOptions
+
+// RunWith simulates like Run with cancellation and checkpointing.
+func RunWith(cfg Config, g *Graph, alg Algorithm, opts RunOptions) (*Result, error) {
+	a, err := core.New(cfg, g, alg)
+	if err != nil {
+		return nil, err
+	}
+	return a.RunWithOptions(opts)
+}
+
+// Checkpoint is a restartable snapshot of an accelerator run, taken at a
+// scheduler round barrier (see RunOptions.CheckpointEvery).
+type Checkpoint = core.Checkpoint
+
+// WriteCheckpoint atomically serializes a checkpoint to path.
+func WriteCheckpoint(path string, ck *Checkpoint) error { return core.WriteCheckpoint(path, ck) }
+
+// ReadCheckpoint loads a checkpoint written by WriteCheckpoint.
+func ReadCheckpoint(path string) (*Checkpoint, error) { return core.ReadCheckpoint(path) }
+
+// ResumeFromCheckpoint continues a checkpointed run to completion. Config,
+// graph, and algorithm must match the original run. The resumed run
+// converges to the same values as the uninterrupted one.
+func ResumeFromCheckpoint(cfg Config, g *Graph, alg Algorithm, ck *Checkpoint, opts RunOptions) (*Result, error) {
+	a, err := core.NewFromCheckpoint(cfg, g, alg, ck)
+	if err != nil {
+		return nil, err
+	}
+	return a.RunWithOptions(opts)
+}
+
+// FaultConfig enables seeded deterministic fault injection in a simulated
+// engine (Config.Fault, ClusterConfig.Chip.Fault,
+// GraphicionadoConfig.Fault). The zero value disables it at zero cost.
+type FaultConfig = fault.Config
+
+// ParseFaultSpec parses a "drop=1e-4,bitflip=1e-5,seed=7" fault spec.
+func ParseFaultSpec(spec string) (FaultConfig, error) { return fault.ParseSpec(spec) }
+
+// FormatFaultSnapshot renders an injected-fault count map
+// (Result.FaultsInjected, ConservationError.Faults) as "point=count ...".
+func FormatFaultSnapshot(snap map[string]int64) string { return fault.FormatSnapshot(snap) }
+
+// ConservationError reports an event-conservation violation detected by the
+// accelerator's watchdog, with the full audit (counters, resident
+// breakdown, injected-fault snapshot). It wraps ErrConservation.
+type ConservationError = core.ConservationError
+
+// Sentinel errors for simulated runs; test with errors.Is.
+var (
+	// ErrDeadline: the simulation exceeded Config.MaxCycles.
+	ErrDeadline = sim.ErrDeadline
+	// ErrCanceled: the run context expired (RunOptions.Ctx).
+	ErrCanceled = sim.ErrCanceled
+	// ErrConservation: events were lost or double-counted (the watchdog
+	// tripped); errors.As to *ConservationError for the audit.
+	ErrConservation = core.ErrConservation
+)
+
 // TelemetryConfig enables time-resolved sampling of a simulated engine
 // (Config.Telemetry / GraphicionadoConfig.Telemetry): queue occupancy,
 // event rates, DRAM traffic and stalls, every N cycles into bounded series.
@@ -238,6 +304,12 @@ func RunGraphicionado(cfg GraphicionadoConfig, g *Graph, alg Algorithm) (*Graphi
 	return graphicionado.Run(cfg, g, alg)
 }
 
+// RunGraphicionadoCtx runs like RunGraphicionado with wall-clock
+// cancellation (nil ctx = no cancellation).
+func RunGraphicionadoCtx(ctx context.Context, cfg GraphicionadoConfig, g *Graph, alg Algorithm) (*GraphicionadoResult, error) {
+	return graphicionado.RunCtx(ctx, cfg, g, alg)
+}
+
 // ClusterConfig sizes a multi-accelerator system (Section IV-F's
 // unexplored option b: one chip per slice, events streamed between chips).
 type ClusterConfig = core.ClusterConfig
@@ -257,6 +329,16 @@ func RunCluster(cfg ClusterConfig, g *Graph, alg Algorithm) (*ClusterResult, err
 		return nil, err
 	}
 	return cl.Run()
+}
+
+// RunClusterCtx runs like RunCluster with wall-clock cancellation (nil ctx
+// = no cancellation).
+func RunClusterCtx(ctx context.Context, cfg ClusterConfig, g *Graph, alg Algorithm) (*ClusterResult, error) {
+	cl, err := core.NewCluster(cfg, g, alg)
+	if err != nil {
+		return nil, err
+	}
+	return cl.RunCtx(ctx)
 }
 
 // EnergyComponent is one Table V power/area row.

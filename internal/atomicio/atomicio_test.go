@@ -1,0 +1,73 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := WriteFileBytes(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite replaces content atomically.
+	if err := WriteFileBytes(path, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "world" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestWriteFileErrorPreservesOld: a failing write callback must leave the
+// previous file version intact and remove its temp file.
+func TestWriteFileErrorPreservesOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileBytes(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFile(path, func(w io.Writer) error {
+		w.Write([]byte("partial garbage"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "v1" {
+		t.Fatalf("old content clobbered: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteFileBadDir(t *testing.T) {
+	err := WriteFileBytes(filepath.Join(t.TempDir(), "missing", "out"), []byte("x"))
+	if err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".csv" && filepath.Ext(e.Name()) != ".json" {
+			t.Fatalf("leftover temp file %q", e.Name())
+		}
+	}
+}

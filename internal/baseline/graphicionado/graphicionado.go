@@ -25,6 +25,7 @@
 package graphicionado
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -32,6 +33,7 @@ import (
 	"graphpulse/internal/graph"
 	"graphpulse/internal/mem"
 	"graphpulse/internal/sim"
+	"graphpulse/internal/sim/fault"
 	"graphpulse/internal/sim/telemetry"
 )
 
@@ -53,6 +55,10 @@ type Config struct {
 	// Telemetry enables time-resolved sampling (frontier size, edge
 	// throughput, DRAM traffic) into Result.Telemetry; see METRICS.md.
 	Telemetry telemetry.Config
+	// Fault configures deterministic fault injection. Only the DRAM fault
+	// class applies to this model (its datapath is on-chip and BSP-
+	// synchronous); the zero value injects nothing.
+	Fault fault.Config
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -80,6 +86,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("graphicionado: MaxCycles=0")
 	case c.MaxIterations < 1:
 		return fmt.Errorf("graphicionado: MaxIterations=%d", c.MaxIterations)
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
 	}
 	return c.Memory.Validate()
 }
@@ -121,6 +130,8 @@ type engine struct {
 	fetch     *mem.Fetcher
 	edgeBytes uint64
 
+	ctx context.Context // nil = no cancellation
+
 	state   []float64
 	acc     []float64
 	applied []float64
@@ -152,6 +163,13 @@ type stream struct {
 
 // Run executes alg over g under the Graphicionado model.
 func Run(cfg Config, g *graph.CSR, alg algorithms.Algorithm) (*Result, error) {
+	return RunCtx(nil, cfg, g, alg)
+}
+
+// RunCtx runs like Run with wall-clock cancellation: when ctx is done the
+// simulation stops with an error wrapping sim.ErrCanceled. A nil ctx
+// disables cancellation.
+func RunCtx(ctx context.Context, cfg Config, g *graph.CSR, alg algorithms.Algorithm) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -162,10 +180,12 @@ func Run(cfg Config, g *graph.CSR, alg algorithms.Algorithm) (*Result, error) {
 		cfg:       cfg,
 		g:         g,
 		alg:       alg,
+		ctx:       ctx,
 		sim:       sim.NewEngine(),
 		edgeBytes: algorithms.EdgeRecordBytes(alg),
 	}
 	e.memory = mem.New(cfg.Memory)
+	e.memory.InjectFaults(fault.New(cfg.Fault))
 	e.fetch = mem.NewFetcher(e.memory)
 	e.sim.Register(e.memory)
 	// The BSP loops drive e.sim.Step() directly, so a recorder registered
@@ -269,6 +289,21 @@ func (e *engine) run() error {
 	return fmt.Errorf("graphicionado: exceeded %d iterations", e.cfg.MaxIterations)
 }
 
+// canceled polls the run context (cheaply: every 1024 cycles) and returns
+// a structured cancellation error when it has expired.
+func (e *engine) canceled() error {
+	if e.ctx == nil || e.sim.Cycle()%1024 != 0 {
+		return nil
+	}
+	select {
+	case <-e.ctx.Done():
+		return fmt.Errorf("graphicionado: %w after %d cycles: %v",
+			sim.ErrCanceled, e.sim.Cycle(), e.ctx.Err())
+	default:
+		return nil
+	}
+}
+
 // streamVertexRecords streams the property records of the given sorted
 // vertex list through DRAM at line granularity, blocking until the stream
 // completes (the phases are separated by the BSP barrier anyway). Useful
@@ -296,6 +331,9 @@ func (e *engine) streamVertexRecords(vs []graph.VertexID, write bool) error {
 		if e.sim.Cycle()-start > e.cfg.MaxCycles {
 			return fmt.Errorf("graphicionado: vertex stream exceeded %d cycles: %w",
 				e.cfg.MaxCycles, sim.ErrDeadline)
+		}
+		if err := e.canceled(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -354,6 +392,9 @@ func (e *engine) processingPhase() error {
 		if e.sim.Cycle()-start > e.cfg.MaxCycles {
 			return fmt.Errorf("graphicionado: processing phase exceeded %d cycles: %w",
 				e.cfg.MaxCycles, sim.ErrDeadline)
+		}
+		if err := e.canceled(); err != nil {
+			return err
 		}
 	}
 }

@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"sync"
 	"text/tabwriter"
+	"time"
 
 	"graphpulse/internal/algorithms"
 	"graphpulse/internal/baseline/graphicionado"
@@ -58,10 +60,41 @@ type Options struct {
 	// sampled series as <path>.csv and <path>.trace.json (Chrome
 	// trace_event JSON; see METRICS.md).
 	TelemetryPath string
+	// Timeout bounds the wall-clock time of each simulated-engine job
+	// (0 = unbounded). A job that exceeds it records a structured
+	// sim.ErrCanceled failure in its cell — the sweep keeps going. The
+	// host-timed Ligra job is not covered: it is a tight measurement loop
+	// with no cancellation points, and interrupting it would corrupt the
+	// wall-time columns anyway.
+	Timeout time.Duration
+	// ManifestPath, when set, maintains a JSON run manifest recording every
+	// completed (workload × engine) job and its measurements, rewritten
+	// atomically after each job. A sweep killed mid-run loses at most the
+	// jobs in flight.
+	Manifest string
+	// Resume, with Manifest set, restores completed jobs from an existing
+	// manifest instead of re-running them (recorded failures are restored
+	// too, keeping the output identical to the interrupted run's plan;
+	// delete the manifest to re-measure). The manifest must match the
+	// sweep's tier/datasets/algorithms/deadline signature.
+	Resume bool
+	// FaultSpec configures the fault-injection experiment ("faults"), e.g.
+	// "drop=1e-4,seed=7" — see fault.ParseSpec. Empty runs that
+	// experiment's built-in rate sweep.
+	FaultSpec string
 
 	// fixedLigraSeconds, when >0, replaces the measured host wall time so
 	// tests can assert byte-identical rendered output across runs.
 	fixedLigraSeconds float64
+}
+
+// jobContext returns the per-job cancellation context for simulated-engine
+// jobs (Background when no Timeout is set).
+func (o Options) jobContext() (context.Context, context.CancelFunc) {
+	if o.Timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), o.Timeout)
 }
 
 // workers resolves the simulated-phase pool size.

@@ -4,7 +4,8 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"os"
+
+	"graphpulse/internal/atomicio"
 )
 
 // WriteCSV dumps the sweep as machine-readable rows (one per
@@ -52,22 +53,15 @@ func (s *Sweep) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// writeSweepCSV writes the sweep to path. A failed write never leaks a
-// half-written file: the partial output is removed and the error names
-// the path.
+// writeSweepCSV writes the sweep to path atomically (temp file + rename),
+// so a failed or interrupted write never replaces or corrupts an existing
+// CSV from an earlier run.
 func writeSweepCSV(path string, s *Sweep) error {
-	f, err := os.Create(path)
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		return s.WriteCSV(w)
+	})
 	if err != nil {
-		return fmt.Errorf("bench: csv: %w", err)
-	}
-	if err := s.WriteCSV(f); err != nil {
-		f.Close()
-		os.Remove(path)
-		return fmt.Errorf("bench: csv %s (partial file removed): %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(path)
-		return fmt.Errorf("bench: csv %s (partial file removed): %w", path, err)
+		return fmt.Errorf("bench: csv %s: %w", path, err)
 	}
 	return nil
 }

@@ -115,7 +115,9 @@ func runOptJob(c *Cell, opt Options) error {
 	if err != nil {
 		return err
 	}
-	c.Opt, err = a.Run()
+	ctx, cancel := opt.jobContext()
+	defer cancel()
+	c.Opt, err = a.RunWithOptions(core.RunOptions{Ctx: ctx})
 	return err
 }
 
@@ -125,7 +127,9 @@ func runBaseJob(c *Cell, opt Options) error {
 	if err != nil {
 		return err
 	}
-	c.Base, err = a.Run()
+	ctx, cancel := opt.jobContext()
+	defer cancel()
+	c.Base, err = a.RunWithOptions(core.RunOptions{Ctx: ctx})
 	return err
 }
 
@@ -138,8 +142,10 @@ func runGionJob(c *Cell, opt Options) error {
 	if w.MaxCycles > 0 {
 		cfg.MaxCycles = w.MaxCycles
 	}
+	ctx, cancel := opt.jobContext()
+	defer cancel()
 	var err error
-	c.Gion, err = graphicionado.Run(cfg, w.Graph, w.NewAlgorithm())
+	c.Gion, err = graphicionado.RunCtx(ctx, cfg, w.Graph, w.NewAlgorithm())
 	return err
 }
 
@@ -189,17 +195,45 @@ func RunWorkload(w *Workload, opt Options) (*Cell, error) {
 
 // RunSweep measures every selected workload on every engine. Per-cell
 // failures are recorded in the returned Sweep, not returned as an error;
-// the error covers only workload construction.
+// the error covers workload construction and manifest persistence.
 func RunSweep(opt Options) (*Sweep, error) {
 	ws, err := Workloads(opt)
 	if err != nil {
 		return nil, err
 	}
-	return runSweep(ws, opt), nil
+	mw, err := newManifestWriter(ws, opt)
+	if err != nil {
+		return nil, err
+	}
+	sw := runSweep(ws, opt, mw)
+	if mw != nil && mw.firstErr != nil {
+		return nil, fmt.Errorf("bench: manifest %s: %w", mw.path, mw.firstErr)
+	}
+	return sw, nil
+}
+
+// runJob executes (or, under -resume, restores) one job, recording the
+// outcome in the manifest.
+func runJob(j Job, opt Options, mw *manifestWriter, prog *progress) {
+	start := time.Now()
+	if mw.restore(j.Cell, j.Engine) {
+		prog.report(j.Cell, j.Engine, 0)
+		return
+	}
+	j.Run(opt)
+	if err := mw.record(j.Cell, j.Engine); err != nil {
+		mw.mu.Lock()
+		if mw.firstErr == nil {
+			mw.firstErr = err
+		}
+		mw.mu.Unlock()
+	}
+	prog.report(j.Cell, j.Engine, time.Since(start))
 }
 
 // runSweep executes the two-phase job schedule over prepared workloads.
-func runSweep(ws []*Workload, opt Options) *Sweep {
+// mw may be nil (no manifest persistence).
+func runSweep(ws []*Workload, opt Options, mw *manifestWriter) *Sweep {
 	cells := make([]*Cell, len(ws))
 	for i, w := range ws {
 		cells[i] = &Cell{Workload: w}
@@ -208,14 +242,13 @@ func runSweep(ws []*Workload, opt Options) *Sweep {
 
 	// Phase 1: host-timed software baseline, strictly serial.
 	for _, c := range cells {
-		start := time.Now()
-		Job{Cell: c, Engine: "ligra"}.Run(opt)
-		prog.report(c, "ligra", time.Since(start))
+		runJob(Job{Cell: c, Engine: "ligra"}, opt, mw, prog)
 	}
 
 	// Phase 2: simulated engines on the bounded worker pool. Each job
 	// writes a distinct field of its cell, so no further synchronization
-	// is needed beyond the channel and WaitGroup.
+	// is needed beyond the channel, the WaitGroup, and the manifest's own
+	// mutex.
 	jobs := make(chan Job)
 	var wg sync.WaitGroup
 	for i := 0; i < opt.workers(); i++ {
@@ -223,9 +256,7 @@ func runSweep(ws []*Workload, opt Options) *Sweep {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				start := time.Now()
-				j.Run(opt)
-				prog.report(j.Cell, j.Engine, time.Since(start))
+				runJob(j, opt, mw, prog)
 			}
 		}()
 	}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"graphpulse/internal/algorithms"
 	"graphpulse/internal/graph/gen"
@@ -118,7 +119,7 @@ func TestSweepFailureIsolation(t *testing.T) {
 	const doomed = 1
 	ws[doomed].MaxCycles = 10
 
-	sw := runSweep(ws, opt)
+	sw := runSweep(ws, opt, nil)
 	if len(sw.Cells) != len(ws) {
 		t.Fatalf("sweep has %d cells, want %d", len(sw.Cells), len(ws))
 	}
@@ -175,7 +176,7 @@ func TestSweepPanicIsolation(t *testing.T) {
 	}
 	ws[0].makeAlg = func() algorithms.Algorithm { panic("boom") }
 
-	sw := runSweep(ws, opt)
+	sw := runSweep(ws, opt, nil)
 	bad := sw.Cells[0]
 	if !bad.Failed() {
 		t.Fatal("panicking cell did not fail")
@@ -249,5 +250,27 @@ func TestWriteSweepCSVBadPath(t *testing.T) {
 		t.Fatal("writing CSV over a directory succeeded")
 	} else if !strings.Contains(err.Error(), "csv") {
 		t.Errorf("error %v does not mention csv", err)
+	}
+}
+
+// TestSweepJobTimeout: a per-job wall-clock budget must fail the job with a
+// cancellation error and leave the rest of the sweep intact.
+func TestSweepJobTimeout(t *testing.T) {
+	opt := sweepOptions()
+	opt.Timeout = time.Nanosecond // every simulated job blows the budget
+	sw, err := RunSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sw.Cells {
+		for _, eng := range []string{"opt", "base", "gion"} {
+			err := c.engineErr(eng)
+			if err == nil {
+				t.Fatalf("%s/%s %s survived a 1ns budget", c.Workload.Dataset.Abbrev, c.Workload.AlgName, eng)
+			}
+			if !errors.Is(err, sim.ErrCanceled) {
+				t.Errorf("%s error = %v, want wrapping sim.ErrCanceled", eng, err)
+			}
+		}
 	}
 }

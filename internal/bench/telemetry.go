@@ -2,8 +2,10 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"os"
 
+	"graphpulse/internal/atomicio"
 	"graphpulse/internal/core"
 	"graphpulse/internal/sim/telemetry"
 )
@@ -75,29 +77,15 @@ func runTimeline(opt Options, _ *Sweep) error {
 }
 
 // writeTelemetryFiles exports a recorder as <prefix>.csv and
-// <prefix>.trace.json, removing partial files on error.
+// <prefix>.trace.json. Each file is written atomically (temp file +
+// rename); if the trace write fails, the already-renamed CSV is removed so
+// the pair stays consistent.
 func writeTelemetryFiles(rec *telemetry.Recorder, prefix string, clockHz float64) (csvPath, tracePath string, err error) {
 	csvPath, tracePath = prefix+".csv", prefix+".trace.json"
-	write := func(path string, fn func(*os.File) error) error {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := fn(f); err != nil {
-			f.Close()
-			os.Remove(path)
-			return err
-		}
-		if err := f.Close(); err != nil {
-			os.Remove(path)
-			return err
-		}
-		return nil
-	}
-	if err = write(csvPath, func(f *os.File) error { return rec.WriteCSV(f) }); err != nil {
+	if err = atomicio.WriteFile(csvPath, func(w io.Writer) error { return rec.WriteCSV(w) }); err != nil {
 		return "", "", err
 	}
-	if err = write(tracePath, func(f *os.File) error { return rec.WriteChromeTrace(f, clockHz) }); err != nil {
+	if err = atomicio.WriteFile(tracePath, func(w io.Writer) error { return rec.WriteChromeTrace(w, clockHz) }); err != nil {
 		os.Remove(csvPath)
 		return "", "", err
 	}

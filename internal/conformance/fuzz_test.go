@@ -70,9 +70,22 @@ func FuzzEngineAgreement(f *testing.F) {
 // FuzzGraphIORoundTrip checks that the text edge-list and binary CSR codecs
 // are lossless: write∘read must reproduce the graph bit-for-bit (weights
 // included), for any decodable instance — including multigraphs, self
-// loops, and trailing isolated vertices.
+// loops, and trailing isolated vertices. It also drives the raw input
+// bytes straight into both loaders: whatever they decode to (usually an
+// error), malformed input must never panic or demand an allocation sized
+// by an unvalidated header.
 func FuzzGraphIORoundTrip(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
+		if g, err := graph.ReadBinary(bytes.NewReader(data)); err == nil {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("ReadBinary accepted an invalid graph: %v", err)
+			}
+		}
+		if g, err := graph.ReadEdgeList(bytes.NewReader(data), 0); err == nil {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("ReadEdgeList accepted an invalid graph: %v", err)
+			}
+		}
 		g, _, _, ok := fuzzGraph(data)
 		if !ok {
 			t.Skip()

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"fmt"
 	"log"
 	"os"
@@ -22,6 +23,19 @@ import (
 // selector, weighted flag, then (src, dst, weight) triples.
 func seed(nSel, alg, root, weighted byte, triples ...byte) []byte {
 	return append([]byte{nSel, alg, root, weighted}, triples...)
+}
+
+// binContainer assembles a raw binary-container prefix (little-endian
+// uint64 header words followed by uint64 payload words) for the
+// malformed-input seeds of FuzzGraphIORoundTrip.
+func binContainer(words ...uint64) []byte {
+	var out []byte
+	for _, w := range words {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], w)
+		out = append(out, b[:]...)
+	}
+	return out
 }
 
 func chainPayload(n byte) []byte {
@@ -69,7 +83,10 @@ func main() {
 	corpora["FuzzEngineAgreement"] = ea
 
 	// IO round-trip: weighted/unweighted, self loops, duplicates, isolated
-	// trailing vertices (n larger than any endpoint), empty payloads.
+	// trailing vertices (n larger than any endpoint), empty payloads —
+	// followed by raw malformed binary containers for the loader-hardening
+	// preamble (the target feeds the undecoded bytes to ReadBinary and
+	// ReadEdgeList before the structured round-trip).
 	corpora["FuzzGraphIORoundTrip"] = [][]byte{
 		seed(14, 0, 0, 1, chainPayload(16)...),
 		seed(14, 0, 0, 0, chainPayload(16)...),
@@ -77,6 +94,12 @@ func main() {
 		seed(8, 0, 0, 1, 3, 3, 99, 3, 3, 99, 0, 9, 1), // self loops + duplicate edges
 		seed(60, 0, 0, 1, 0, 1, 50),                   // one edge, many isolated vertices
 		seed(4, 0, 0, 0),                              // no edges at all
+		binContainer(0x47504353, 0, 1<<62, 0),         // vertex count overflows int
+		binContainer(0x47504353, 0, 2, 1<<62),         // edge count overflows int
+		binContainer(0x47504353, 2, 1, 0, 0, 0),       // unknown flag bit
+		binContainer(0x47504353, 0, 1<<20, 1<<20),     // huge counts, empty payload
+		binContainer(0x47504353, 0, 2, 1, 0, 1, 0),    // non-monotone RowPtr (truncated Dst)
+		binContainer(0xdeadbeef, 0, 1, 0),             // wrong magic
 	}
 
 	// Incremental insert: the incremental algorithm selectors (adsorption,

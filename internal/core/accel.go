@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -9,6 +10,7 @@ import (
 	"graphpulse/internal/graph/partition"
 	"graphpulse/internal/mem"
 	"graphpulse/internal/sim"
+	"graphpulse/internal/sim/fault"
 	"graphpulse/internal/sim/stats"
 	"graphpulse/internal/sim/telemetry"
 )
@@ -99,6 +101,8 @@ type Accelerator struct {
 	// replacement (activateSlice builds a fresh queue with zeroed counters).
 	foldInserted  int64
 	foldCoalesced int64
+	// foldRedelivered accumulates replaced queues' duplicate-discard counts.
+	foldRedelivered int64
 
 	// Cumulative counters.
 	eventsProcessed   int64
@@ -107,6 +111,21 @@ type Accelerator struct {
 	sliceSwitches     int64
 	drainStalls       int64
 	extraVertexUseful int64
+
+	// Robustness state. initialEvents/discardedEvents feed the
+	// event-conservation balance sheet; spillRecovered counts events
+	// re-read after an injected spill loss; wdErr latches a watchdog trip.
+	inj             *fault.Injector // nil unless Config.Fault enables faults
+	initialEvents   int64
+	discardedEvents int64
+	spillRecovered  int64
+	wdStrikes       int
+	wdErr           *ConservationError
+
+	// Run-control state (RunWithOptions).
+	opts           RunOptions
+	lastCheckpoint uint64
+	ckErr          error
 
 	stage *stats.StageTimer
 	trace *tracer             // nil unless Config.TraceVertices
@@ -132,7 +151,9 @@ func New(cfg Config, g *graph.CSR, alg algorithms.Algorithm) (*Accelerator, erro
 	}
 	a.prog, _ = alg.(algorithms.Progressor)
 	a.trace = newTracer(cfg.TraceVertices)
+	a.inj = fault.New(cfg.Fault)
 	a.memory = mem.New(cfg.Memory)
+	a.memory.InjectFaults(a.inj)
 	a.fetch = mem.NewFetcher(a.memory)
 	a.engine.Register(a.memory)
 	a.engine.Register(a)
@@ -166,12 +187,14 @@ func New(cfg Config, g *graph.CSR, alg algorithms.Algorithm) (*Accelerator, erro
 		}
 	}
 	a.xbar = newCrossbar(cfg.CrossbarPorts, cfg.NetworkQueueDepth)
+	a.xbar.inj = a.inj
 
 	// Distribute the bootstrap events to their slices. Initial events are
 	// host-written (Section III-B), so activation below charges insertion
 	// cycles but no DRAM traffic for them.
 	for _, ev := range alg.InitialEvents(g) {
 		a.spill.add(a.sliceOf(ev.Vertex), Event{Target: ev.Vertex, Delta: ev.Delta})
+		a.initialEvents++
 	}
 	first := a.spill.nextNonEmpty(len(a.slices) - 1)
 	if first == -1 {
@@ -214,16 +237,35 @@ func (a *Accelerator) globalID(local graph.VertexID) graph.VertexID {
 // the slice and stages its spilled events for insertion. When charged is
 // true the event stream is read back from the off-chip spill region.
 func (a *Accelerator) activateSlice(s int, charged bool) {
+	if a.queue != nil {
+		// The per-slice queue is about to be replaced; fold its duplicate-
+		// discard count so reports stay cumulative across slices.
+		a.foldRedelivered += a.queue.redelivered
+	}
 	a.curSlice = s
 	sl := a.slices[s]
 	a.queue = newMappedQueue(sl.NumVertices(), a.cfg.NumBins, a.cfg.BinCols,
 		a.cfg.Mapping, a.cfg.CoalesceDisabled, a.alg.Reduce)
 	a.pendingInserts = a.spill.take(s)
 	a.availInserts = len(a.pendingInserts)
+	// Spill-loss faults: the swap-in stream drops events (a failed read of
+	// the spill region). Loss is detected — the spill buffer is a journal
+	// with known event counts — and recovered by re-reading the affected
+	// lines, so no event is lost; the cost is the extra DRAM traffic
+	// charged below.
+	lost := uint64(0)
+	if a.inj != nil {
+		for range a.pendingInserts {
+			if a.inj.Decide(fault.PointSpillLoss) {
+				lost++
+			}
+		}
+		a.spillRecovered += int64(lost)
+	}
 	if charged {
 		a.availInserts = 0
 		bytes := uint64(len(a.pendingInserts)) * 16
-		lines := (bytes + mem.LineBytes - 1) / mem.LineBytes
+		lines := (bytes+mem.LineBytes-1)/mem.LineBytes + lost // + recovery re-reads
 		for l := uint64(0); l < lines; l++ {
 			a.fetch.Fetch(spillBase+a.swapReadAddr, mem.LineBytes, mem.LineBytes, false, func() {
 				a.availInserts += mem.LineBytes / 16
@@ -353,6 +395,7 @@ func (a *Accelerator) Tick(cycle uint64) {
 	}
 	a.xbar.deliver(a.queue, drainedBin)
 	a.transition(cycle)
+	a.watchdogCheck(cycle)
 }
 
 // swapInStep inserts staged events through the bins' parallel insertion
@@ -481,11 +524,14 @@ func (a *Accelerator) transition(cycle uint64) {
 		if a.cfg.GlobalProgressThreshold > 0 && a.prog != nil &&
 			processed > 0 && progress < a.cfg.GlobalProgressThreshold {
 			a.globalStop = true
-			a.queue.drainAll()
+			// Sub-threshold events are discarded deliberately; book them so
+			// the conservation watchdog doesn't read the purge as a loss.
+			a.discardedEvents += int64(len(a.queue.drainAll()))
 			for i := range a.spill.perSlice {
-				a.spill.take(i)
+				a.discardedEvents += int64(len(a.spill.take(i)))
 			}
 		}
+		a.maybeCheckpoint(cycle)
 		switch {
 		case a.queue.population > 0:
 			a.startRound()
@@ -508,7 +554,11 @@ func (a *Accelerator) transition(cycle uint64) {
 		}
 	case phaseFlush:
 		if a.fetch.Idle() && a.memory.Pending() == 0 {
-			a.phase = phaseDone
+			// Terminal audit: the balance sheet must be exact here even on
+			// runs too short for the periodic watchdog to accumulate strikes.
+			if a.finalConservationCheck() {
+				a.phase = phaseDone
+			}
 		}
 	}
 }
@@ -544,12 +594,46 @@ func (a *Accelerator) endRound() {
 	a.round++
 }
 
+// RunOptions controls one accelerator run beyond the Config: wall-clock
+// cancellation and periodic checkpointing. The zero value runs to
+// termination exactly like Run.
+type RunOptions struct {
+	// Ctx cancels the run by wall clock: when it is done, Run returns an
+	// error wrapping sim.ErrCanceled. nil disables cancellation.
+	Ctx context.Context
+	// CheckpointEvery requests a checkpoint at the first scheduler round
+	// barrier after this many cycles elapse since the previous one
+	// (0 = never). Round barriers are the quiescent points — every event is
+	// in the queue or a spill buffer — so the snapshot is exact.
+	CheckpointEvery uint64
+	// OnCheckpoint receives each checkpoint (e.g. WriteCheckpoint to disk).
+	// A non-nil error aborts the run and is returned by RunWithOptions.
+	OnCheckpoint func(*Checkpoint) error
+}
+
 // Run simulates to termination and returns the result. It fails with
 // sim.ErrDeadline if MaxCycles elapses first (a lost-event bug, not a slow
 // graph: termination is guaranteed for monotone algorithms and
-// threshold-bounded for the rest).
+// threshold-bounded for the rest) and with an error wrapping
+// ErrConservation if the event-conservation watchdog trips.
 func (a *Accelerator) Run() (*Result, error) {
-	if err := a.engine.RunUntil(func() bool { return a.phase == phaseDone }, a.cfg.MaxCycles); err != nil {
+	return a.RunWithOptions(RunOptions{})
+}
+
+// RunWithOptions runs like Run with cancellation and checkpointing.
+func (a *Accelerator) RunWithOptions(opts RunOptions) (*Result, error) {
+	a.opts = opts
+	a.lastCheckpoint = a.engine.Cycle()
+	err := a.engine.RunUntil(opts.Ctx, func() bool {
+		return a.phase == phaseDone || a.wdErr != nil || a.ckErr != nil
+	}, a.cfg.MaxCycles)
+	if a.wdErr != nil {
+		return nil, a.wdErr
+	}
+	if a.ckErr != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", a.ckErr)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return a.result(), nil
@@ -576,6 +660,14 @@ func (a *Accelerator) result() *Result {
 		BytesUseful:        ms.Counter("bytes_useful") + a.extraVertexUseful,
 		RowHits:            ms.Counter("row_hits"),
 		RowMisses:          ms.Counter("row_misses"),
+		MemFaults:          ms.Counter("dram_faults"),
+		MemRetries:         ms.Counter("dram_retries"),
+		DroppedEvents:      a.xbar.dropped,
+		RedeliveredEvents:  a.foldRedelivered + a.queue.redelivered,
+		ReorderedEvents:    a.xbar.reordered,
+		DiscardedEvents:    a.discardedEvents,
+		SpillRecovered:     a.spillRecovered,
+		FaultsInjected:     a.inj.Snapshot(),
 		RoundLog:           a.roundLog,
 		TerminatedGlobally: a.globalStop,
 		StageMeans:         make(map[string]float64, len(StageNames)),

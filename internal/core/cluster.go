@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"graphpulse/internal/algorithms"
@@ -8,6 +9,7 @@ import (
 	"graphpulse/internal/graph/partition"
 	"graphpulse/internal/mem"
 	"graphpulse/internal/sim"
+	"graphpulse/internal/sim/fault"
 	"graphpulse/internal/sim/telemetry"
 )
 
@@ -38,6 +40,13 @@ type Cluster struct {
 	inflight [][]linkMsg
 
 	sent, delivered int64
+
+	// inj injects interconnect faults (link kill/degrade) from its own
+	// stream, independent of the chips' injectors.
+	inj                      *fault.Injector
+	linkKilled, linkDegraded int64
+	wdStrikes                int
+	wdErr                    *ConservationError
 
 	tel *telemetry.Recorder // shared across chips; nil when disabled
 }
@@ -120,10 +129,16 @@ func NewCluster(cfg ClusterConfig, g *graph.CSR, alg algorithms.Algorithm) (*Clu
 	// last so it samples end-of-cycle state; probe components are prefixed
 	// "chipN/" per chip.
 	cl.tel = telemetry.New(cfg.Chip.Telemetry)
+	// The interconnect draws link faults from the configured seed; each chip
+	// derives an independent per-chip stream so the chips don't all fault in
+	// lockstep.
+	cl.inj = fault.New(cfg.Chip.Fault)
 	for i, sl := range cl.slices {
 		chipCfg := cfg.Chip
 		chipCfg.Name = fmt.Sprintf("%s-chip%d", chipCfg.Name, i)
 		chipCfg.QueueCapacity = 0
+		chipCfg.Fault = cfg.Chip.Fault.WithSeed(
+			cfg.Chip.Fault.Seed ^ uint64(i+1)*0x9e3779b97f4a7c15)
 		chip, err := newChip(chipCfg, g, alg, sl, state, cl.remoteFunc(i), initial, cl.engine)
 		if err != nil {
 			return nil, err
@@ -165,7 +180,9 @@ func newChip(cfg Config, g *graph.CSR, alg algorithms.Algorithm, sl partition.Sl
 		state:     state,
 	}
 	a.prog, _ = alg.(algorithms.Progressor)
+	a.inj = fault.New(cfg.Fault)
 	a.memory = mem.New(cfg.Memory)
+	a.memory.InjectFaults(a.inj)
 	a.fetch = mem.NewFetcher(a.memory)
 	a.slices = []partition.Slice{sl}
 	a.spill = newSpillBuffers(1)
@@ -180,9 +197,11 @@ func newChip(cfg Config, g *graph.CSR, alg algorithms.Algorithm, sl partition.Sl
 		}
 	}
 	a.xbar = newCrossbar(cfg.CrossbarPorts, cfg.NetworkQueueDepth)
+	a.xbar.inj = a.inj
 	for _, ev := range initial {
 		if sl.Contains(ev.Vertex) {
 			a.spill.add(0, Event{Target: ev.Vertex, Delta: ev.Delta})
+			a.initialEvents++
 		}
 	}
 	a.activateSlice(0, false)
@@ -228,10 +247,23 @@ func (cl *Cluster) Tick(cycle uint64) {
 		for moved < cl.cfg.LinkBandwidth && len(cl.egress[i]) > 0 {
 			ev := cl.egress[i][0]
 			cl.egress[i] = cl.egress[i][1:]
-			dst := cl.chipOf(ev.Target)
-			cl.inflight[dst] = append(cl.inflight[dst], linkMsg{ev: ev, arriveAt: cycle + cl.cfg.LinkLatency})
-			cl.sent++
 			moved++
+			// Link kill: the event is lost on the wire. No retransmit layer
+			// exists, so the cluster-level conservation audit must catch it.
+			if cl.inj.Decide(fault.PointLinkKill) {
+				cl.linkKilled++
+				continue
+			}
+			lat := cl.cfg.LinkLatency
+			// Link degrade: this traversal crawls (a flapping or retrained
+			// link); the event survives, just late.
+			if cl.inj.Decide(fault.PointLinkDegrade) {
+				lat *= cl.inj.DegradeFactor()
+				cl.linkDegraded++
+			}
+			dst := cl.chipOf(ev.Target)
+			cl.inflight[dst] = append(cl.inflight[dst], linkMsg{ev: ev, arriveAt: cycle + lat})
+			cl.sent++
 		}
 	}
 	for i := range cl.inflight {
@@ -252,11 +284,81 @@ func (cl *Cluster) Tick(cycle uint64) {
 		}
 		cl.inflight[i] = kept
 	}
+	cl.watchdogCheck(cycle)
+}
+
+// eventImbalance audits conservation cluster-wide. A chip's local sheet is
+// unbalanced by remote traffic (a sent event is +1 at the sender until it
+// lands at the receiver, where it counts −1), so the per-chip imbalances
+// plus the link buffers must cancel: any residue is an event lost on the
+// interconnect or inside a chip.
+func (cl *Cluster) eventImbalance() int64 {
+	var imb int64
+	for i, chip := range cl.chips {
+		imb += chip.eventImbalance()
+		imb -= int64(len(cl.egress[i]) + len(cl.inflight[i]))
+	}
+	return imb
+}
+
+// watchdogCheck is the cluster-level conservation audit, run on the shared
+// clock with the same strike policy as the single-chip watchdog.
+func (cl *Cluster) watchdogCheck(cycle uint64) {
+	if cl.wdErr != nil {
+		return
+	}
+	iv := cl.cfg.Chip.WatchdogInterval
+	if iv == 0 {
+		iv = defaultWatchdogInterval
+	}
+	if cycle%iv != 0 {
+		return
+	}
+	imb := cl.eventImbalance()
+	if imb == 0 {
+		cl.wdStrikes = 0
+		return
+	}
+	cl.wdStrikes++
+	if cl.wdStrikes >= watchdogStrikes {
+		cl.wdErr = cl.conservationError(cycle, imb)
+	}
+}
+
+// conservationError aggregates the chips' balance sheets plus the link
+// buffers into one diagnostic snapshot.
+func (cl *Cluster) conservationError(cycle uint64, imbalance int64) *ConservationError {
+	e := &ConservationError{Cycle: cycle, Imbalance: imbalance, Faults: cl.inj.Snapshot()}
+	for i, chip := range cl.chips {
+		e.Initial += chip.initialEvents
+		e.Emitted += chip.eventsEmitted
+		e.Processed += chip.eventsProcessed
+		e.Coalesced += chip.coalescedTotal()
+		e.Discarded += chip.discardedEvents
+		e.Redelivered += chip.foldRedelivered + chip.queue.redelivered
+		rb := chip.residentEvents()
+		e.Resident.Queue += rb.Queue
+		e.Resident.Network += rb.Network
+		e.Resident.Staged += rb.Staged
+		e.Resident.ProcInputs += rb.ProcInputs
+		e.Resident.Spill += rb.Spill
+		e.Resident.PendingInserts += rb.PendingInserts
+		e.Resident.Egress += int64(len(cl.egress[i]))
+		e.Resident.Inflight += int64(len(cl.inflight[i]))
+		if e.Faults == nil {
+			e.Faults = chip.inj.Snapshot()
+		}
+	}
+	return e
 }
 
 // done reports global termination: every chip parked idle, no interconnect
-// traffic, no in-chip work.
+// traffic, no in-chip work. A watchdog trip also stops the clock so Run can
+// surface the conservation error.
 func (cl *Cluster) done() bool {
+	if cl.wdErr != nil {
+		return true
+	}
 	for i, chip := range cl.chips {
 		if chip.phase != phaseIdle || chip.queue.population > 0 || !chip.xbar.empty() {
 			return false
@@ -276,6 +378,10 @@ type ClusterResult struct {
 	Chips   int
 	// InterChipEvents counts events that crossed the interconnect.
 	InterChipEvents int64
+	// LinkKilled and LinkDegraded count injected interconnect faults
+	// (zero on clean runs).
+	LinkKilled   int64
+	LinkDegraded int64
 	// EventsProcessed sums across chips.
 	EventsProcessed int64
 	// OffChipAccesses sums all chips' DRAM line transfers.
@@ -288,9 +394,25 @@ type ClusterResult struct {
 }
 
 // Run simulates the cluster to global termination.
-func (cl *Cluster) Run() (*ClusterResult, error) {
-	if err := cl.engine.RunUntil(cl.done, cl.cfg.Chip.MaxCycles); err != nil {
+func (cl *Cluster) Run() (*ClusterResult, error) { return cl.RunCtx(nil) }
+
+// RunCtx runs like Run with wall-clock cancellation: when ctx is done the
+// simulation stops with an error wrapping sim.ErrCanceled. It fails with an
+// error wrapping ErrConservation when the cluster-wide event-conservation
+// watchdog trips (e.g. an event lost on a killed link).
+func (cl *Cluster) RunCtx(ctx context.Context) (*ClusterResult, error) {
+	err := cl.engine.RunUntil(ctx, cl.done, cl.cfg.Chip.MaxCycles)
+	if cl.wdErr != nil {
+		return nil, cl.wdErr
+	}
+	if err != nil {
 		return nil, err
+	}
+	// Final audit: a cluster can quiesce with events missing (killed on a
+	// link) before the periodic watchdog accumulates its strikes. Global
+	// termination with an unbalanced sheet is still a lost event.
+	if imb := cl.eventImbalance(); imb != 0 {
+		return nil, cl.conservationError(cl.engine.Cycle(), imb)
 	}
 	// Flush chip scratchpads so final state is architecturally visible.
 	for _, chip := range cl.chips {
@@ -302,6 +424,8 @@ func (cl *Cluster) Run() (*ClusterResult, error) {
 		Seconds:         cl.engine.SecondsAt(cl.cfg.Chip.ClockHz),
 		Chips:           len(cl.chips),
 		InterChipEvents: cl.delivered,
+		LinkKilled:      cl.linkKilled,
+		LinkDegraded:    cl.linkDegraded,
 		Telemetry:       cl.tel,
 	}
 	for _, chip := range cl.chips {

@@ -45,6 +45,10 @@ type coalescingQueue struct {
 	// Counters (cumulative; the scheduler snapshots them per round).
 	inserted  int64
 	coalesced int64
+	// redelivered counts duplicate deliveries discarded by the idempotency
+	// check (at-least-once delivery faults absorbed without double-applying
+	// their deltas).
+	redelivered int64
 }
 
 func newCoalescingQueue(capacity, bins, cols int, coalesceDisabled bool, reduce func(a, b float64) float64) *coalescingQueue {
@@ -99,6 +103,15 @@ func (q *coalescingQueue) insert(ev Event) bool {
 	slot := int(ev.Target)
 	if slot >= len(q.occupied) {
 		panic(fmt.Sprintf("core: event target %d beyond queue capacity %d", ev.Target, len(q.occupied)))
+	}
+	if ev.Redelivered {
+		// Idempotent discard of duplicate deliveries: the first copy of this
+		// event already merged into the queue this cycle, and reducing the
+		// same delta again would double-count it (sum-based algorithms are
+		// not idempotent). Discarded before the insertion counters so the
+		// event balance sheet stays exact.
+		q.redelivered++
+		return false
 	}
 	q.inserted++
 	if !q.occupied[slot] {
@@ -174,6 +187,24 @@ func (q *coalescingQueue) binPopulation(bin int) int {
 		total += int(q.rowCount[base+r])
 	}
 	return total
+}
+
+// snapshot returns every resident event (local vertex ids) without
+// mutating the queue; checkpointing uses it where drainAll would destroy
+// the live state.
+func (q *coalescingQueue) snapshot() []Event {
+	out := make([]Event, 0, q.population)
+	for slot, occ := range q.occupied {
+		if !occ {
+			continue
+		}
+		v := graph.VertexID(slot)
+		out = append(out, Event{Target: v, Delta: q.delta[slot], Lookahead: q.look[slot]})
+		if q.coalesceDisabled {
+			out = append(out, q.overflow[v]...)
+		}
+	}
+	return out
 }
 
 // drainAll empties the queue in bin/row order; used when swapping a slice

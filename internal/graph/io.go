@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -38,11 +39,18 @@ func ReadEdgeList(r io.Reader, vertexHint int) (*CSR, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: bad dst: %v", line, err)
 		}
+		if src > maxBinaryVertices || dst > maxBinaryVertices {
+			return nil, fmt.Errorf("graph: line %d: vertex id %d exceeds format limit %d",
+				line, max(src, dst), uint64(maxBinaryVertices))
+		}
 		e := Edge{Src: VertexID(src), Dst: VertexID(dst), Weight: 1}
 		if len(fields) >= 3 {
 			w, err := strconv.ParseFloat(fields[2], 32)
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: bad weight: %v", line, err)
+			}
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("graph: line %d: non-finite weight %v", line, w)
 			}
 			e.Weight = float32(w)
 			weighted = true
@@ -117,7 +125,40 @@ func WriteBinary(w io.Writer, g *CSR) error {
 	return bw.Flush()
 }
 
-// ReadBinary loads a graph written by WriteBinary.
+// Format limits of the binary container. Vertex ids are uint32 on the wire
+// and RowPtr entries are uint64, so these are not capacity limits of the
+// CSR type — they exist so a malformed or hostile header cannot demand an
+// absurd allocation (int(hdr) on a 2⁶³-scale count would even go negative)
+// before the truncated payload is discovered.
+const (
+	maxBinaryVertices = 1 << 31
+	maxBinaryEdges    = 1 << 33
+)
+
+// readChunked fills a length-n slice in bounded chunks, so a header
+// announcing billions of entries on a short file fails with a descriptive
+// error after at most one chunk of over-allocation rather than attempting
+// the full amount up front.
+func readChunked[T uint64 | VertexID | float32](br io.Reader, n int, what string) ([]T, error) {
+	const chunk = 1 << 16
+	out := make([]T, 0, min(n, chunk))
+	for len(out) < n {
+		c := min(n-len(out), chunk)
+		tmp := make([]T, c)
+		if err := binary.Read(br, binary.LittleEndian, tmp); err != nil {
+			return nil, fmt.Errorf("graph: reading %s (at entry %d of %d, truncated file?): %w",
+				what, len(out), n, err)
+		}
+		out = append(out, tmp...)
+	}
+	return out, nil
+}
+
+// ReadBinary loads a graph written by WriteBinary. Malformed input —
+// wrong magic, unknown flags, header counts beyond the format limits, a
+// payload shorter than the header promises, non-monotone row pointers, or
+// out-of-range edge targets — fails with a descriptive error; no input
+// can make it panic or allocate unboundedly ahead of validation.
 func ReadBinary(r io.Reader) (*CSR, error) {
 	br := bufio.NewReader(r)
 	var hdr [4]uint64
@@ -129,22 +170,28 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 	if hdr[0] != binaryMagic {
 		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
 	}
+	if hdr[1]&^1 != 0 {
+		return nil, fmt.Errorf("graph: unknown header flags %#x (newer format?)", hdr[1])
+	}
 	weighted := hdr[1]&1 != 0
+	if hdr[2] > maxBinaryVertices {
+		return nil, fmt.Errorf("graph: header vertex count %d exceeds format limit %d", hdr[2], uint64(maxBinaryVertices))
+	}
+	if hdr[3] > maxBinaryEdges {
+		return nil, fmt.Errorf("graph: header edge count %d exceeds format limit %d", hdr[3], uint64(maxBinaryEdges))
+	}
 	n, m := int(hdr[2]), int(hdr[3])
-	g := &CSR{
-		RowPtr: make([]uint64, n+1),
-		Dst:    make([]VertexID, m),
+	g := &CSR{}
+	var err error
+	if g.RowPtr, err = readChunked[uint64](br, n+1, "RowPtr"); err != nil {
+		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.RowPtr); err != nil {
-		return nil, fmt.Errorf("graph: reading RowPtr: %w", err)
-	}
-	if err := binary.Read(br, binary.LittleEndian, g.Dst); err != nil {
-		return nil, fmt.Errorf("graph: reading Dst: %w", err)
+	if g.Dst, err = readChunked[VertexID](br, m, "Dst"); err != nil {
+		return nil, err
 	}
 	if weighted {
-		g.Weight = make([]float32, m)
-		if err := binary.Read(br, binary.LittleEndian, g.Weight); err != nil {
-			return nil, fmt.Errorf("graph: reading Weight: %w", err)
+		if g.Weight, err = readChunked[float32](br, m, "Weight"); err != nil {
+			return nil, err
 		}
 	}
 	if err := g.Validate(); err != nil {

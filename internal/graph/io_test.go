@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -133,6 +134,85 @@ func TestReadBinaryTruncated(t *testing.T) {
 	for _, cut := range []int{1, 8, 31, len(full) / 2, len(full) - 1} {
 		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
 			t.Errorf("ReadBinary accepted truncation at %d bytes", cut)
+		}
+	}
+}
+
+// binContainer hand-assembles a binary container from raw header words and
+// payload sections, for malformed-input tests.
+func binContainer(t *testing.T, magic, flags, n, m uint64, sections ...any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, h := range []uint64{magic, flags, n, m} {
+		if err := binary.Write(&buf, binary.LittleEndian, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range sections {
+		if err := binary.Write(&buf, binary.LittleEndian, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestReadBinaryMalformed feeds ReadBinary hostile containers: headers
+// promising absurd or overflowing counts, unknown flags, payloads that
+// violate the CSR invariants. Every case must fail with a descriptive
+// error — never panic, never attempt the announced allocation.
+func TestReadBinaryMalformed(t *testing.T) {
+	const magic = 0x47504353
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"vertex count overflows int", binContainer(t, magic, 0, 1<<62, 0), "exceeds format limit"},
+		{"edge count overflows int", binContainer(t, magic, 0, 2, 1<<62), "exceeds format limit"},
+		{"vertex count beyond limit", binContainer(t, magic, 0, maxBinaryVertices+1, 0), "exceeds format limit"},
+		{"edge count beyond limit", binContainer(t, magic, 0, 2, maxBinaryEdges+1), "exceeds format limit"},
+		{"unknown flag bits", binContainer(t, magic, 0b10, 1, 0, []uint64{0, 0}), "unknown header flags"},
+		{"large count truncated payload", binContainer(t, magic, 0, 1<<20, 1<<20), "truncated"},
+		{"row pointers not monotone", binContainer(t, magic, 0, 2, 1,
+			[]uint64{0, 1, 0}, []uint32{0}), "monotone"},
+		{"row pointer total mismatch", binContainer(t, magic, 0, 2, 1,
+			[]uint64{0, 2, 9}, []uint32{0}), "want len(Dst)"},
+		{"edge target out of range", binContainer(t, magic, 0, 2, 1,
+			[]uint64{0, 1, 1}, []uint32{7}), "out-of-range destination"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadBinary(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("ReadBinary accepted malformed container")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadEdgeListHostile covers text inputs that previously could demand
+// gigantic allocations or smuggle non-finite weights into the CSR.
+func TestReadEdgeListHostile(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"0 4294967295\n", "exceeds format limit"},
+		{"4294967295 0\n", "exceeds format limit"},
+		{"0 1 NaN\n", "non-finite weight"},
+		{"0 1 +Inf\n", "non-finite weight"},
+		{"0 1 -Inf\n", "non-finite weight"},
+	}
+	for _, tc := range cases {
+		_, err := ReadEdgeList(strings.NewReader(tc.in), 0)
+		if err == nil {
+			t.Errorf("ReadEdgeList(%q) succeeded, want error", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ReadEdgeList(%q) error %q does not mention %q", tc.in, err, tc.want)
 		}
 	}
 }

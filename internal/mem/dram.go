@@ -22,6 +22,7 @@ package mem
 import (
 	"fmt"
 
+	"graphpulse/internal/sim/fault"
 	"graphpulse/internal/sim/stats"
 	"graphpulse/internal/sim/telemetry"
 )
@@ -111,7 +112,21 @@ type inflight struct {
 	req      Request
 	doneAt   uint64
 	enqueued uint64
+	// attempts counts failed tries of this transaction (fault injection);
+	// notBefore holds it out of scheduling until its backoff expires.
+	attempts  int
+	notBefore uint64
 }
+
+// Retry policy for injected transaction failures: exponential backoff
+// starting at dramRetryBackoff cycles, and after dramMaxAttempts failures
+// the transaction is forced through (a real controller would raise a
+// machine-check; the model guarantees forward progress so a fault sweep
+// measures slowdown, not hangs).
+const (
+	dramRetryBackoff = 16
+	dramMaxAttempts  = 8
+)
 
 type bank struct {
 	openRow   uint64
@@ -143,6 +158,11 @@ type Memory struct {
 	bytesMoved, bytesUse int64
 	rejects              int64
 	refreshes            int64
+	faults, retries      int64
+
+	// inj, when non-nil, fails transactions at completion time so the
+	// retry-with-backoff path gets exercised (see InjectFaults).
+	inj *fault.Injector
 }
 
 // New builds a Memory from cfg, panicking on invalid configuration
@@ -181,8 +201,17 @@ func (m *Memory) Stats() *stats.Set {
 	set("bytes_useful", m.bytesUse)
 	set("queue_rejects", m.rejects)
 	set("refreshes", m.refreshes)
+	set("dram_faults", m.faults)
+	set("dram_retries", m.retries)
 	return m.stats
 }
+
+// InjectFaults attaches a fault injector (nil = disabled): transactions
+// fail at completion with the injector's DRAM fault rate and are retried
+// with exponential backoff. Failed transfers still occupied the bank and
+// bus, so faults cost bandwidth and latency but never lose a request —
+// OnComplete fires exactly once, on the try that succeeds.
+func (m *Memory) InjectFaults(inj *fault.Injector) { m.inj = inj }
 
 // RegisterProbes wires this memory's traffic counters into a telemetry
 // Recorder under the given component name (see METRICS.md for the series).
@@ -296,6 +325,20 @@ func (m *Memory) Tick(cycle uint64) {
 				fin := ch.service[i]
 				ch.service[i] = ch.service[len(ch.service)-1]
 				ch.service = ch.service[:len(ch.service)-1]
+				// Injected transaction failure: the transfer is discarded at
+				// completion (it already paid its bank and bus time) and the
+				// request requeues after an exponential backoff. The queue-
+				// depth bound is not enforced for retries — the controller
+				// holds its own failed requests rather than dropping them.
+				if fin.attempts < dramMaxAttempts && m.inj.Decide(fault.PointDRAM) {
+					m.faults++
+					m.retries++
+					fin.attempts++
+					fin.notBefore = cycle + dramRetryBackoff<<(fin.attempts-1)
+					fin.doneAt = 0
+					ch.queue = append(ch.queue, fin)
+					continue
+				}
 				m.complete(fin)
 				continue
 			}
@@ -311,6 +354,9 @@ func (m *Memory) Tick(cycle uint64) {
 		// whose row is open; else the oldest request with a free bank.
 		pick := -1
 		for i, f := range ch.queue {
+			if f.notBefore > cycle {
+				continue // backing off after an injected failure
+			}
 			b := &ch.banks[m.bankOf(f.req.Addr)]
 			if b.busyUntil > cycle {
 				continue

@@ -10,7 +10,7 @@ func run(t *testing.T, m *Memory, done func() bool, max uint64) *sim.Engine {
 	t.Helper()
 	e := sim.NewEngine()
 	e.Register(m)
-	if err := e.RunUntil(done, max); err != nil {
+	if err := e.RunUntil(nil, done, max); err != nil {
 		t.Fatalf("RunUntil: %v", err)
 	}
 	return e

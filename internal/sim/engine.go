@@ -16,6 +16,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -58,19 +59,47 @@ func (e *Engine) Step() {
 // ErrDeadline is returned by RunUntil when maxCycles elapses before done().
 var ErrDeadline = errors.New("sim: cycle deadline exceeded")
 
+// ErrCanceled is returned by RunUntil when the supplied context is canceled
+// (wall-clock timeout or interrupt) before the simulation completes.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// ctxPollInterval is how many cycles elapse between context checks: a
+// non-blocking select per cycle would dominate the tick loop, and a
+// millisecond-scale timeout never needs finer granularity.
+const ctxPollInterval = 1024
+
 // RunUntil steps the clock until done() returns true, checking done before
 // each cycle. It fails with ErrDeadline after maxCycles to convert hangs
 // (a scheduling bug, a lost event) into diagnosable errors instead of
-// wedged simulations.
-func (e *Engine) RunUntil(done func() bool, maxCycles uint64) error {
+// wedged simulations, and with ErrCanceled when ctx is canceled — the
+// wall-clock analogue, checked every ctxPollInterval cycles. A nil ctx
+// disables cancellation.
+func (e *Engine) RunUntil(ctx context.Context, done func() bool, maxCycles uint64) error {
 	start := e.cycle
 	for !done() {
 		if e.cycle-start >= maxCycles {
 			return fmt.Errorf("%w (ran %d cycles, %d components)", ErrDeadline, e.cycle-start, len(e.components))
 		}
+		if ctx != nil && (e.cycle-start)%ctxPollInterval == 0 {
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("%w after %d cycles: %v", ErrCanceled, e.cycle-start, ctx.Err())
+			default:
+			}
+		}
 		e.Step()
 	}
 	return nil
+}
+
+// FastForward advances the cycle counter without ticking components.
+// Checkpoint resume uses it to restore the clock of a restored run so that
+// cycle-derived outputs (Seconds, telemetry timestamps) stay on the
+// original timeline.
+func (e *Engine) FastForward(toCycle uint64) {
+	if toCycle > e.cycle {
+		e.cycle = toCycle
+	}
 }
 
 // SecondsAt converts the elapsed cycle count to seconds at the given clock

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -43,7 +44,7 @@ func TestEngineRunUntil(t *testing.T) {
 	e := NewEngine()
 	c := &tickCounter{name: "c"}
 	e.Register(c)
-	err := e.RunUntil(func() bool { return c.ticks >= 10 }, 100)
+	err := e.RunUntil(nil, func() bool { return c.ticks >= 10 }, 100)
 	if err != nil {
 		t.Fatalf("RunUntil: %v", err)
 	}
@@ -56,7 +57,7 @@ func TestEngineRunUntilImmediatelyDone(t *testing.T) {
 	e := NewEngine()
 	c := &tickCounter{name: "c"}
 	e.Register(c)
-	if err := e.RunUntil(func() bool { return true }, 10); err != nil {
+	if err := e.RunUntil(nil, func() bool { return true }, 10); err != nil {
 		t.Fatalf("RunUntil: %v", err)
 	}
 	if c.ticks != 0 {
@@ -66,12 +67,64 @@ func TestEngineRunUntilImmediatelyDone(t *testing.T) {
 
 func TestEngineDeadline(t *testing.T) {
 	e := NewEngine()
-	err := e.RunUntil(func() bool { return false }, 50)
+	err := e.RunUntil(nil, func() bool { return false }, 50)
 	if !errors.Is(err, ErrDeadline) {
 		t.Fatalf("err = %v, want ErrDeadline", err)
 	}
 	if e.Cycle() != 50 {
 		t.Errorf("Cycle = %d, want 50", e.Cycle())
+	}
+}
+
+func TestEngineCanceled(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := e.RunUntil(ctx, func() bool { return false }, 1<<40)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// Cancellation is polled, so at most one poll interval of cycles ran.
+	if e.Cycle() >= 2*ctxPollInterval {
+		t.Errorf("ran %d cycles after cancellation", e.Cycle())
+	}
+}
+
+func TestEngineCancelMidRun(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &tickCounter{name: "c"}
+	e.Register(c)
+	err := e.RunUntil(ctx, func() bool {
+		if c.ticks == 3000 {
+			cancel()
+		}
+		return false
+	}, 1<<40)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if c.ticks < 3000 || c.ticks > 3000+2*ctxPollInterval {
+		t.Errorf("canceled after %d ticks", c.ticks)
+	}
+}
+
+func TestEngineNilContext(t *testing.T) {
+	e := NewEngine()
+	if err := e.RunUntil(nil, func() bool { return e.Cycle() >= 5 }, 100); err != nil {
+		t.Fatalf("nil ctx RunUntil: %v", err)
+	}
+}
+
+func TestFastForward(t *testing.T) {
+	e := NewEngine()
+	e.FastForward(1000)
+	if e.Cycle() != 1000 {
+		t.Fatalf("Cycle = %d, want 1000", e.Cycle())
+	}
+	e.FastForward(500) // never rewinds
+	if e.Cycle() != 1000 {
+		t.Fatalf("Cycle rewound to %d", e.Cycle())
 	}
 }
 

@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNilInjectorSafe: every method must be free and safe on the nil
+// injector — it is the "faults disabled" representation used on hot paths.
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if in.Decide(PointQueueDrop) {
+		t.Fatal("nil injector decided to fault")
+	}
+	if got := in.Pick(PointQueueReorder, 10); got != 0 {
+		t.Fatalf("nil Pick = %d, want 0", got)
+	}
+	if got := in.CorruptFloat(3.5); got != 3.5 {
+		t.Fatalf("nil CorruptFloat changed value: %g", got)
+	}
+	if in.Count(PointDRAM) != 0 || in.Total() != 0 || in.Snapshot() != nil {
+		t.Fatal("nil injector reported nonzero counts")
+	}
+	if in.DegradeFactor() != 8 {
+		t.Fatalf("nil DegradeFactor = %d, want 8", in.DegradeFactor())
+	}
+}
+
+func TestNewDisabledIsNil(t *testing.T) {
+	if New(Config{}) != nil {
+		t.Fatal("New(zero Config) should return nil")
+	}
+	if New(Config{Seed: 99}) != nil {
+		t.Fatal("seed alone should not enable injection")
+	}
+	if New(Config{DropRate: 0.1}) == nil {
+		t.Fatal("nonzero rate should enable injection")
+	}
+}
+
+// TestDeterminism: identical configs draw identical decision sequences,
+// and streams at different points are independent.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, DropRate: 0.3, BitFlipRate: 0.5, ReorderRate: 0.2}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 10000; i++ {
+		if a.Decide(PointQueueDrop) != b.Decide(PointQueueDrop) {
+			t.Fatalf("drop decision %d diverged", i)
+		}
+		if a.CorruptFloat(1.5) != b.CorruptFloat(1.5) {
+			t.Fatalf("corrupt %d diverged", i)
+		}
+	}
+	// Interleaving extra draws at another point must not perturb a stream.
+	c := New(cfg)
+	var seqA, seqC []bool
+	for i := 0; i < 1000; i++ {
+		seqA = append(seqA, a.Decide(PointQueueDrop))
+		c.Decide(PointQueueReorder) // extra traffic on an unrelated point
+		seqC = append(seqC, c.Decide(PointQueueDrop))
+	}
+	// a has already consumed 10000 drop draws; re-derive from fresh pair.
+	d, e := New(cfg), New(cfg)
+	for i := 0; i < 1000; i++ {
+		got := d.Decide(PointQueueDrop)
+		e.Decide(PointQueueReorder)
+		if e.Decide(PointQueueDrop) != got {
+			t.Fatalf("cross-point interference at draw %d", i)
+		}
+	}
+	_ = seqA
+	_ = seqC
+}
+
+// TestRateStatistics: the empirical fault rate must track the configured
+// probability (law of large numbers, generous tolerance).
+func TestRateStatistics(t *testing.T) {
+	for _, rate := range []float64{0.01, 0.1, 0.5, 0.9} {
+		in := New(Config{Seed: 7, DropRate: rate})
+		const n = 200000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if in.Decide(PointQueueDrop) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-rate) > 0.01 {
+			t.Errorf("rate %g: empirical %g", rate, got)
+		}
+		if in.Count(PointQueueDrop) != int64(hits) {
+			t.Errorf("count %d != hits %d", in.Count(PointQueueDrop), hits)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(Config{Seed: 1, DropRate: 0.5})
+	b := New(Config{Seed: 2, DropRate: 0.5})
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Decide(PointQueueDrop) == b.Decide(PointQueueDrop) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical decision streams")
+	}
+}
+
+func TestCorruptFloat(t *testing.T) {
+	in := New(Config{Seed: 3, BitFlipRate: 1})
+	// Finite values: exactly one low-52 bit differs, value stays finite.
+	for i := 0; i < 1000; i++ {
+		v := 1.0 + float64(i)*0.125
+		got := in.CorruptFloat(v)
+		diff := math.Float64bits(v) ^ math.Float64bits(got)
+		if diff == 0 || diff&(diff-1) != 0 {
+			t.Fatalf("flip of %g changed %d bits", v, popcount(diff))
+		}
+		if diff>>52 != 0 {
+			t.Fatalf("flip of %g touched exponent/sign bits: %#x", v, diff)
+		}
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("flip of %g produced non-finite %g", v, got)
+		}
+	}
+	// Non-finite values pass through unchanged (no manufactured NaNs).
+	for _, v := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		got := in.CorruptFloat(v)
+		if math.IsNaN(v) {
+			if !math.IsNaN(got) {
+				t.Fatalf("NaN corrupted to %g", got)
+			}
+			continue
+		}
+		if got != v {
+			t.Fatalf("CorruptFloat(%g) = %g, want unchanged", v, got)
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestPickRange(t *testing.T) {
+	in := New(Config{Seed: 5, ReorderRate: 1})
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		k := in.Pick(PointQueueReorder, 7)
+		if k < 0 || k >= 7 {
+			t.Fatalf("Pick out of range: %d", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 7 {
+		t.Fatalf("Pick covered only %d/7 values", len(seen))
+	}
+	if in.Pick(PointQueueReorder, 1) != 0 || in.Pick(PointQueueReorder, 0) != 0 {
+		t.Fatal("Pick with n<=1 must return 0")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	c, err := ParseSpec("drop=1e-3, dup=0.5,seed=0x10,degrade=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DropRate != 1e-3 || c.DuplicateRate != 0.5 || c.Seed != 16 || c.DegradeFactor != 4 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if c, err := ParseSpec(""); err != nil || c.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+	for _, bad := range []string{"drop", "drop=2", "drop=-1", "nope=0.1", "seed=abc", "drop=x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{DropRate: 1.5}).Validate(); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	if err := (Config{BitFlipRate: math.NaN()}).Validate(); err == nil {
+		t.Fatal("NaN rate accepted")
+	}
+	if err := (Config{DropRate: 1, DuplicateRate: 0}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotAndFormat(t *testing.T) {
+	in := New(Config{Seed: 9, DropRate: 1, DRAMFaultRate: 1})
+	in.Decide(PointQueueDrop)
+	in.Decide(PointQueueDrop)
+	in.Decide(PointDRAM)
+	snap := in.Snapshot()
+	if snap["queue_drop"] != 2 || snap["dram_fault"] != 1 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	if got := FormatSnapshot(snap); got != "dram_fault=1 queue_drop=2" {
+		t.Fatalf("FormatSnapshot = %q", got)
+	}
+	if FormatSnapshot(nil) != "none" {
+		t.Fatal("FormatSnapshot(nil)")
+	}
+	if in.Total() != 3 {
+		t.Fatalf("Total = %d", in.Total())
+	}
+}
+
+func TestWithSeed(t *testing.T) {
+	c := Config{Seed: 1, DropRate: 0.5}
+	c2 := c.WithSeed(77)
+	if c2.Seed != 77 || c2.DropRate != 0.5 || c.Seed != 1 {
+		t.Fatalf("WithSeed: %+v / %+v", c, c2)
+	}
+}
