@@ -1,0 +1,80 @@
+// Command loadgen drives a running serve instance and reports throughput
+// and latency percentiles (README "Serving", EXPERIMENTS.md "Serving
+// latency and throughput").
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 -graph wg -alg pr -d 10s -c 8
+//	loadgen -url ... -graph wg -alg sssp -root 3 -qps 2000 -mutate-every 100
+//	loadgen -url ... -graph wg -d 5s -csv out.csv -min-qps 1000   # CI gate
+//
+// With -qps the driver is open-loop (arrivals paced at the target rate);
+// without it, closed-loop (-c workers back-to-back). -min-qps exits
+// non-zero when the achieved query rate falls short — the CI smoke gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"graphpulse/internal/loadgen"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://127.0.0.1:8080", "serve base URL")
+		graph   = flag.String("graph", "", "resident graph name to target (required)")
+		alg     = flag.String("alg", "pr", "algorithm: pr|ads|sssp|bfs|reach|cc|sswp|relpath")
+		root    = flag.Uint("root", 0, "root vertex for rooted algorithms")
+		engine  = flag.String("engine", "", "engine: solve (default) | accel | graphicionado")
+		qps     = flag.Float64("qps", 0, "open-loop target arrival rate (0 = closed loop)")
+		conc    = flag.Int("c", 8, "client concurrency")
+		dur     = flag.Duration("d", 5*time.Second, "load duration")
+		mutEv   = flag.Int("mutate-every", 0, "make every Nth request a mutation batch (0 = never)")
+		mutEdge = flag.Int("mutate-edges", 16, "edges per mutation batch")
+		seed    = flag.Int64("seed", 42, "mutation edge seed")
+		csvPath = flag.String("csv", "", "write the summary as CSV to this file (atomic)")
+		minQPS  = flag.Float64("min-qps", 0, "exit non-zero unless the achieved query rate reaches this")
+	)
+	flag.Parse()
+	if *graph == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -graph is required")
+		os.Exit(2)
+	}
+
+	stats, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     *url,
+		Graph:       *graph,
+		Algorithm:   *alg,
+		Root:        uint32(*root),
+		Engine:      *engine,
+		QPS:         *qps,
+		Concurrency: *conc,
+		Duration:    *dur,
+		MutateEvery: *mutEv,
+		MutateEdges: *mutEdge,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	summary := stats.Summarize()
+	summary.WriteText(os.Stdout)
+	if *csvPath != "" {
+		if err := summary.WriteCSVFile(*csvPath); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("summary written to %s\n", *csvPath)
+	}
+	if *minQPS > 0 {
+		if got := summary.AchievedQPS("query"); got < *minQPS {
+			fmt.Fprintf(os.Stderr, "loadgen: achieved %.1f query qps, need ≥ %.1f\n", got, *minQPS)
+			os.Exit(1)
+		}
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"graphpulse/internal/energy"
 	"graphpulse/internal/graph"
 	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/serve"
 	"graphpulse/internal/sim"
 	"graphpulse/internal/sim/fault"
 	"graphpulse/internal/sim/telemetry"
@@ -153,6 +154,13 @@ var (
 // worklist engine — the golden model the hardware simulations are verified
 // against. Use it when you want answers, not architecture measurements.
 func Solve(g *Graph, alg Algorithm) *SolveResult { return algorithms.Solve(g, alg) }
+
+// SolveCtx runs like Solve with wall-clock cancellation: when ctx is
+// canceled it stops and returns an error wrapping ErrCanceled, the same
+// sentinel the simulated engines use. A nil ctx never fails.
+func SolveCtx(ctx context.Context, g *Graph, alg Algorithm) (*SolveResult, error) {
+	return algorithms.SolveCtx(ctx, g, alg)
+}
 
 // SolveResult is the reference solver's output.
 type SolveResult = algorithms.SolveResult
@@ -340,6 +348,35 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, g *Graph, alg Algorit
 	}
 	return cl.RunCtx(ctx)
 }
+
+// ServeConfig configures the graph analytics service: resident graphs,
+// worker pool and admission queue sizing, deadlines, result cache, and
+// warm-start history (README "Serving").
+type ServeConfig = serve.Config
+
+// ServeGraphSpec names one resident graph and its source: a Table IV
+// stand-in ("WG:tiny"), a graph file path, or a pre-built *Graph.
+type ServeGraphSpec = serve.GraphSpec
+
+// Server is the long-lived serving runtime. Expose it with Start (own
+// listener) or Handler (mount anywhere); stop with Shutdown, which drains
+// in-flight requests.
+type Server = serve.Server
+
+// NewServer builds a Server: loads the configured graphs and starts the
+// compute worker pool.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// Serving wire types (the /v1/query and /v1/mutate JSON bodies).
+type (
+	QueryRequest   = serve.QueryRequest
+	QueryResponse  = serve.QueryResponse
+	MutateRequest  = serve.MutateRequest
+	MutateResponse = serve.MutateResponse
+	ServeGraphInfo = serve.GraphInfo
+	ServeEdge      = serve.EdgeJSON
+	VertexValue    = serve.VertexValue
+)
 
 // EnergyComponent is one Table V power/area row.
 type EnergyComponent = energy.Component

@@ -1,7 +1,11 @@
 package algorithms
 
 import (
+	"context"
+	"fmt"
+
 	"graphpulse/internal/graph"
+	"graphpulse/internal/sim"
 )
 
 // SolveResult is the output of the reference solver.
@@ -14,12 +18,28 @@ type SolveResult struct {
 	Emitted int64
 }
 
+// ctxPollInterval is how many worklist pops elapse between context checks,
+// mirroring sim.Engine.RunUntil's polling: a select per pop would dominate
+// the loop, and wall-clock deadlines never need finer granularity.
+const ctxPollInterval = 1024
+
 // Solve runs alg to convergence with a sequential vertex-coalescing
 // worklist — the software embodiment of Algorithm 1 from the paper with a
 // FIFO queue and per-vertex coalescing. It is exact (not approximate) given
 // the algorithm's algebraic laws, and serves as the golden model that every
 // engine (accelerator, Ligra-style, Graphicionado-style) is tested against.
 func Solve(g *graph.CSR, alg Algorithm) *SolveResult {
+	res, _ := SolveCtx(nil, g, alg)
+	return res
+}
+
+// SolveCtx runs like Solve with wall-clock cancellation: when ctx is
+// canceled the solve stops and returns an error wrapping sim.ErrCanceled,
+// the same sentinel the simulated engines return from RunUntil — so a
+// server deadline cancels a native solve and a cycle-level simulation
+// through one errors.Is check. A nil ctx disables cancellation and never
+// fails.
+func SolveCtx(ctx context.Context, g *graph.CSR, alg Algorithm) (*SolveResult, error) {
 	n := g.NumVertices()
 	state := make([]Value, n)
 	acc := make([]Value, n)
@@ -42,6 +62,13 @@ func Solve(g *graph.CSR, alg Algorithm) *SolveResult {
 	}
 	res := &SolveResult{}
 	for len(worklist) > 0 {
+		if ctx != nil && res.Activations%ctxPollInterval == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w after %d activations: %v", sim.ErrCanceled, res.Activations, ctx.Err())
+			default:
+			}
+		}
 		v := worklist[0]
 		worklist = worklist[1:]
 		inList[v] = false
@@ -69,5 +96,5 @@ func Solve(g *graph.CSR, alg Algorithm) *SolveResult {
 		}
 	}
 	res.Values = state
-	return res
+	return res, nil
 }

@@ -1,0 +1,449 @@
+// Package loadgen drives a running serve instance with a configurable
+// query/mutate mix and reports throughput and latency percentiles — the
+// closed-loop (fixed concurrency, back-to-back) and open-loop (target
+// arrival rate) load models used by the EXPERIMENTS.md serving sweep and
+// the CI serve-smoke stage.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"graphpulse/internal/atomicio"
+	"graphpulse/internal/serve"
+)
+
+// Config describes one load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Graph, Algorithm, Root, Engine form the query sent on every request.
+	Graph     string
+	Algorithm string
+	Root      uint32
+	Engine    string
+	// QPS is the open-loop target arrival rate; 0 runs closed-loop
+	// (every worker issues back-to-back requests).
+	QPS float64
+	// Concurrency is the number of client workers (default 8).
+	Concurrency int
+	// Duration is how long to generate load (default 5s).
+	Duration time.Duration
+	// MutateEvery makes every Nth request a mutation batch instead of a
+	// query (0 = queries only).
+	MutateEvery int
+	// MutateEdges is the batch size of each mutation (default 16).
+	MutateEdges int
+	// Seed makes mutation edge choice deterministic.
+	Seed int64
+	// Client overrides the HTTP client (default: 10s timeout).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.MutateEdges <= 0 {
+		c.MutateEdges = 16
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = "pr"
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return c
+}
+
+// Stats accumulates per-kind outcomes of one run.
+type Stats struct {
+	Elapsed time.Duration
+	Query   KindStats
+	Mutate  KindStats
+	// CacheHits counts queries answered from the server's result cache.
+	CacheHits int64
+	// Dropped counts open-loop arrivals discarded because every worker
+	// was busy and the arrival buffer was full (the offered rate exceeded
+	// capacity).
+	Dropped int64
+}
+
+// KindStats is the outcome tally and latency sample set for one request
+// kind.
+type KindStats struct {
+	Count     int64
+	Errors    int64
+	Rejected  int64 // 429 admission-control rejections
+	Deadlines int64 // 504 deadline expiries
+	// LatenciesUS holds one microsecond latency per completed request,
+	// sorted ascending by Summarize.
+	LatenciesUS []int64
+}
+
+// Run drives the configured load until Duration elapses or ctx is
+// canceled, and returns the collected stats.
+func Run(ctx context.Context, cfg Config) (*Stats, error) {
+	cfg = cfg.withDefaults()
+	info, err := graphInfo(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	// Open loop: a generator paces arrivals; workers consume them.
+	// Closed loop: arrivals is closed immediately and workers free-run.
+	var arrivals chan struct{}
+	var dropped int64
+	var dropMu sync.Mutex
+	if cfg.QPS > 0 {
+		arrivals = make(chan struct{}, cfg.Concurrency*4)
+		interval := time.Duration(float64(time.Second) / cfg.QPS)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					close(arrivals)
+					return
+				case <-tick.C:
+					select {
+					case arrivals <- struct{}{}:
+					default:
+						dropMu.Lock()
+						dropped++
+						dropMu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+
+	var (
+		reqSeq  int64
+		seqMu   sync.Mutex
+		wg      sync.WaitGroup
+		workers = make([]workerStats, cfg.Concurrency)
+	)
+	nextSeq := func() int64 {
+		seqMu.Lock()
+		defer seqMu.Unlock()
+		reqSeq++
+		return reqSeq
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+			ws := &workers[id]
+			for {
+				if cfg.QPS > 0 {
+					if _, ok := <-arrivals; !ok {
+						return
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				seq := nextSeq()
+				if cfg.MutateEvery > 0 && seq%int64(cfg.MutateEvery) == 0 {
+					doMutate(cfg, info, rng, ws)
+				} else {
+					doQuery(cfg, ws)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := &Stats{Elapsed: time.Since(start), Dropped: dropped}
+	for i := range workers {
+		st.Query.merge(&workers[i].query)
+		st.Mutate.merge(&workers[i].mutate)
+		st.CacheHits += workers[i].cacheHits
+	}
+	return st, nil
+}
+
+type workerStats struct {
+	query     KindStats
+	mutate    KindStats
+	cacheHits int64
+}
+
+func (k *KindStats) merge(o *KindStats) {
+	k.Count += o.Count
+	k.Errors += o.Errors
+	k.Rejected += o.Rejected
+	k.Deadlines += o.Deadlines
+	k.LatenciesUS = append(k.LatenciesUS, o.LatenciesUS...)
+}
+
+func (k *KindStats) record(code int, us int64, err error) {
+	k.Count++
+	switch {
+	case err != nil:
+		k.Errors++
+		return
+	case code == http.StatusTooManyRequests:
+		k.Rejected++
+	case code == http.StatusGatewayTimeout:
+		k.Deadlines++
+	case code != http.StatusOK:
+		k.Errors++
+		return
+	}
+	k.LatenciesUS = append(k.LatenciesUS, us)
+}
+
+func graphInfo(cfg Config) (serve.GraphInfo, error) {
+	resp, err := cfg.Client.Get(cfg.BaseURL + "/v1/graphs")
+	if err != nil {
+		return serve.GraphInfo{}, fmt.Errorf("loadgen: list graphs: %w", err)
+	}
+	defer resp.Body.Close()
+	var infos []serve.GraphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return serve.GraphInfo{}, fmt.Errorf("loadgen: parse graph list: %w", err)
+	}
+	for _, in := range infos {
+		if in.Name == cfg.Graph {
+			return in, nil
+		}
+	}
+	return serve.GraphInfo{}, fmt.Errorf("loadgen: graph %q not resident (have %d graphs)", cfg.Graph, len(infos))
+}
+
+func post(cfg Config, path string, body any) (int, []byte, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := cfg.Client.Post(cfg.BaseURL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	return resp.StatusCode, data, err
+}
+
+func doQuery(cfg Config, ws *workerStats) {
+	root := cfg.Root
+	req := serve.QueryRequest{
+		Graph:     cfg.Graph,
+		Algorithm: cfg.Algorithm,
+		Root:      &root,
+		Engine:    cfg.Engine,
+		Top:       1,
+	}
+	t0 := time.Now()
+	code, body, err := post(cfg, "/v1/query", req)
+	us := time.Since(t0).Microseconds()
+	ws.query.record(code, us, err)
+	if err == nil && code == http.StatusOK {
+		var qr serve.QueryResponse
+		if json.Unmarshal(body, &qr) == nil && qr.Cached {
+			ws.cacheHits++
+		}
+	}
+}
+
+func doMutate(cfg Config, info serve.GraphInfo, rng *rand.Rand, ws *workerStats) {
+	n := info.NumVertices
+	edges := make([]serve.EdgeJSON, cfg.MutateEdges)
+	for i := range edges {
+		edges[i] = serve.EdgeJSON{
+			Src:    uint32(rng.Intn(n)),
+			Dst:    uint32(rng.Intn(n)),
+			Weight: float32(rng.Float64()*0.9 + 0.1),
+		}
+	}
+	t0 := time.Now()
+	code, _, err := post(cfg, "/v1/mutate", serve.MutateRequest{Graph: cfg.Graph, Edges: edges})
+	us := time.Since(t0).Microseconds()
+	ws.mutate.record(code, us, err)
+}
+
+// Summary is the deterministic report of one run: one row per request
+// kind that saw traffic. Its CSV and text renderings are pinned by
+// golden-file tests.
+type Summary struct {
+	ElapsedSeconds float64
+	Dropped        int64
+	Rows           []SummaryRow
+}
+
+// SummaryRow aggregates one request kind.
+type SummaryRow struct {
+	Kind      string
+	Count     int64
+	Errors    int64
+	Rejected  int64
+	Deadlines int64
+	CacheHits int64
+	QPS       float64
+	P50us     int64
+	P90us     int64
+	P95us     int64
+	P99us     int64
+	MaxUS     int64
+}
+
+// Summarize reduces raw stats to the percentile report. It sorts the
+// latency samples in place.
+func (st *Stats) Summarize() Summary {
+	s := Summary{
+		ElapsedSeconds: st.Elapsed.Seconds(),
+		Dropped:        st.Dropped,
+	}
+	addRow := func(kind string, k *KindStats, cacheHits int64) {
+		if k.Count == 0 {
+			return
+		}
+		sort.Slice(k.LatenciesUS, func(i, j int) bool { return k.LatenciesUS[i] < k.LatenciesUS[j] })
+		row := SummaryRow{
+			Kind:      kind,
+			Count:     k.Count,
+			Errors:    k.Errors,
+			Rejected:  k.Rejected,
+			Deadlines: k.Deadlines,
+			CacheHits: cacheHits,
+			P50us:     Percentile(k.LatenciesUS, 0.50),
+			P90us:     Percentile(k.LatenciesUS, 0.90),
+			P95us:     Percentile(k.LatenciesUS, 0.95),
+			P99us:     Percentile(k.LatenciesUS, 0.99),
+		}
+		if n := len(k.LatenciesUS); n > 0 {
+			row.MaxUS = k.LatenciesUS[n-1]
+		}
+		if s.ElapsedSeconds > 0 {
+			row.QPS = float64(k.Count) / s.ElapsedSeconds
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	addRow("query", &st.Query, st.CacheHits)
+	addRow("mutate", &st.Mutate, 0)
+	return s
+}
+
+// AchievedQPS returns the completed-request rate of one kind ("query",
+// "mutate"), or 0 if the kind saw no traffic.
+func (s Summary) AchievedQPS(kind string) float64 {
+	for _, r := range s.Rows {
+		if r.Kind == kind {
+			return r.QPS
+		}
+	}
+	return 0
+}
+
+// Percentile returns the nearest-rank percentile of ascending-sorted
+// microsecond samples (0 for an empty set).
+func Percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// csvHeader is the stable column set of the CSV summary.
+var csvHeader = []string{
+	"kind", "count", "errors", "rejected", "deadlines", "cache_hits",
+	"qps", "p50_us", "p90_us", "p95_us", "p99_us", "max_us",
+}
+
+// WriteCSV renders the summary as CSV, one row per request kind.
+func (s Summary) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range s.Rows {
+		rec := []string{
+			r.Kind,
+			strconv.FormatInt(r.Count, 10),
+			strconv.FormatInt(r.Errors, 10),
+			strconv.FormatInt(r.Rejected, 10),
+			strconv.FormatInt(r.Deadlines, 10),
+			strconv.FormatInt(r.CacheHits, 10),
+			strconv.FormatFloat(r.QPS, 'f', 1, 64),
+			strconv.FormatInt(r.P50us, 10),
+			strconv.FormatInt(r.P90us, 10),
+			strconv.FormatInt(r.P95us, 10),
+			strconv.FormatInt(r.P99us, 10),
+			strconv.FormatInt(r.MaxUS, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile atomically writes the CSV summary to path.
+func (s Summary) WriteCSVFile(path string) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error { return s.WriteCSV(w) })
+}
+
+// WriteText renders the human report: run line plus one percentile line
+// per kind.
+func (s Summary) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "elapsed %.2fs", s.ElapsedSeconds)
+	if s.Dropped > 0 {
+		fmt.Fprintf(w, "  (dropped %d open-loop arrivals: offered rate exceeded capacity)", s.Dropped)
+	}
+	fmt.Fprintln(w)
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%-6s  %6d reqs  %8.1f qps  p50 %s  p90 %s  p95 %s  p99 %s  max %s",
+			r.Kind, r.Count, r.QPS,
+			fmtUS(r.P50us), fmtUS(r.P90us), fmtUS(r.P95us), fmtUS(r.P99us), fmtUS(r.MaxUS))
+		if r.Kind == "query" {
+			fmt.Fprintf(w, "  cache-hits %d", r.CacheHits)
+		}
+		if r.Rejected > 0 || r.Deadlines > 0 || r.Errors > 0 {
+			fmt.Fprintf(w, "  [429:%d 504:%d err:%d]", r.Rejected, r.Deadlines, r.Errors)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// fmtUS renders a microsecond latency with a readable unit.
+func fmtUS(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1_000:
+		return fmt.Sprintf("%.1fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/graph"
+)
+
+// QueryRequest is the /v1/query body: which algorithm to run over which
+// resident graph, on which engine, and what slice of the answer to return.
+type QueryRequest struct {
+	// Graph names a resident graph.
+	Graph string `json:"graph"`
+	// Algorithm selects the computation:
+	// pr|ads|sssp|bfs|reach|cc|sswp|relpath.
+	Algorithm string `json:"algorithm"`
+	// Root is the source vertex for rooted algorithms (default 0).
+	Root *uint32 `json:"root,omitempty"`
+	// Alpha and Threshold override pr/ads parameters (defaults 0.85/1e-4
+	// for pr, 0.8/1e-4 for ads).
+	Alpha     *float64 `json:"alpha,omitempty"`
+	Threshold *float64 `json:"threshold,omitempty"`
+	// Engine picks the execution backend: "solve" (native worklist
+	// solver, the default), "accel" (GraphPulse simulation), or
+	// "graphicionado" (BSP baseline simulation).
+	Engine string `json:"engine,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline,
+	// capped by Config.MaxTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Top asks for the N highest-valued vertices (default 10, max 1000).
+	Top int `json:"top,omitempty"`
+	// Vertices asks for the values of specific vertices.
+	Vertices []uint32 `json:"vertices,omitempty"`
+}
+
+// VertexValue is one (vertex, converged value) pair. Path-style
+// algorithms legitimately converge to ±Inf (unreachable vertices), which
+// JSON numbers cannot carry, so the codec maps non-finite values to the
+// strings "Infinity", "-Infinity", and "NaN".
+type VertexValue struct {
+	Vertex uint32
+	Value  float64
+}
+
+// MarshalJSON implements json.Marshaler; see the type comment.
+func (v VertexValue) MarshalJSON() ([]byte, error) {
+	var val string
+	switch {
+	case math.IsInf(v.Value, 1):
+		val = `"Infinity"`
+	case math.IsInf(v.Value, -1):
+		val = `"-Infinity"`
+	case math.IsNaN(v.Value):
+		val = `"NaN"`
+	default:
+		val = strconv.FormatFloat(v.Value, 'g', -1, 64)
+	}
+	return []byte(fmt.Sprintf(`{"vertex":%d,"value":%s}`, v.Vertex, val)), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler; see the type comment.
+func (v *VertexValue) UnmarshalJSON(data []byte) error {
+	var aux struct {
+		Vertex uint32          `json:"vertex"`
+		Value  json.RawMessage `json:"value"`
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	v.Vertex = aux.Vertex
+	var s string
+	if json.Unmarshal(aux.Value, &s) == nil {
+		switch s {
+		case "Infinity":
+			v.Value = math.Inf(1)
+		case "-Infinity":
+			v.Value = math.Inf(-1)
+		case "NaN":
+			v.Value = math.NaN()
+		default:
+			return fmt.Errorf("serve: bad vertex value %q", s)
+		}
+		return nil
+	}
+	return json.Unmarshal(aux.Value, &v.Value)
+}
+
+// QueryResponse is the /v1/query answer.
+type QueryResponse struct {
+	Graph     string `json:"graph"`
+	Epoch     uint64 `json:"epoch"`
+	Algorithm string `json:"algorithm"`
+	Engine    string `json:"engine"`
+	// Cached reports whether the answer came straight from the result
+	// cache. Mode says how the values were produced: "cache", "cold"
+	// (from-scratch solve), or "warm" (warm-started from a prior epoch's
+	// fixed point after mutations).
+	Cached bool   `json:"cached"`
+	Mode   string `json:"mode"`
+	// Coalesced reports that this request joined an identical in-flight
+	// computation instead of starting its own.
+	Coalesced   bool          `json:"coalesced,omitempty"`
+	NumVertices int           `json:"num_vertices"`
+	NumEdges    int           `json:"num_edges"`
+	Activations int64         `json:"activations"`
+	ComputeSecs float64       `json:"compute_seconds"`
+	Sum         float64       `json:"sum"`
+	Top         []VertexValue `json:"top,omitempty"`
+	Values      []VertexValue `json:"values,omitempty"`
+}
+
+// EdgeJSON is one directed edge in a mutation batch.
+type EdgeJSON struct {
+	Src    uint32  `json:"src"`
+	Dst    uint32  `json:"dst"`
+	Weight float32 `json:"weight,omitempty"`
+}
+
+// MutateRequest is the /v1/mutate body: a batch of edges to insert into a
+// resident graph. The vertex set is fixed; edges referencing vertices
+// beyond it are rejected whole-batch.
+type MutateRequest struct {
+	Graph string     `json:"graph"`
+	Edges []EdgeJSON `json:"edges"`
+}
+
+// MutateResponse reports the post-mutation graph version.
+type MutateResponse struct {
+	Graph       string `json:"graph"`
+	Epoch       uint64 `json:"epoch"`
+	Added       int    `json:"added"`
+	NumVertices int    `json:"num_vertices"`
+	NumEdges    int    `json:"num_edges"`
+}
+
+// GraphInfo is one /v1/graphs inventory row.
+type GraphInfo struct {
+	Name        string `json:"name"`
+	Epoch       uint64 `json:"epoch"`
+	NumVertices int    `json:"num_vertices"`
+	NumEdges    int    `json:"num_edges"`
+	Weighted    bool   `json:"weighted"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// makeAlgorithm builds the algorithm a request names and its canonical
+// cache key (parameters normalized, so equivalent requests share cache
+// entries and coalesce).
+func makeAlgorithm(req *QueryRequest) (algorithms.Algorithm, string, error) {
+	root := graph.VertexID(0)
+	if req.Root != nil {
+		root = graph.VertexID(*req.Root)
+	}
+	rootedKey := func(name string) string { return fmt.Sprintf("%s(root=%d)", name, root) }
+	switch req.Algorithm {
+	case "pr":
+		a := algorithms.NewPageRankDelta()
+		if req.Alpha != nil {
+			a.Alpha = *req.Alpha
+		}
+		if req.Threshold != nil {
+			a.Threshold = *req.Threshold
+		}
+		if a.Alpha <= 0 || a.Alpha >= 1 || a.Threshold <= 0 {
+			return nil, "", fmt.Errorf("pr needs 0<alpha<1 and threshold>0")
+		}
+		return a, fmt.Sprintf("pr(alpha=%g,threshold=%g)", a.Alpha, a.Threshold), nil
+	case "ads":
+		a := algorithms.NewAdsorption()
+		if req.Alpha != nil {
+			a.Alpha = *req.Alpha
+		}
+		if req.Threshold != nil {
+			a.Threshold = *req.Threshold
+		}
+		if a.Alpha <= 0 || a.Alpha >= 1 || a.Threshold <= 0 {
+			return nil, "", fmt.Errorf("ads needs 0<alpha<1 and threshold>0")
+		}
+		return a, fmt.Sprintf("ads(alpha=%g,threshold=%g)", a.Alpha, a.Threshold), nil
+	case "sssp":
+		return algorithms.NewSSSP(root), rootedKey("sssp"), nil
+	case "bfs":
+		return algorithms.NewBFS(root), rootedKey("bfs"), nil
+	case "reach":
+		return algorithms.NewReach(root), rootedKey("reach"), nil
+	case "cc":
+		return algorithms.NewConnectedComponents(), "cc()", nil
+	case "sswp":
+		return algorithms.NewSSWP(root), rootedKey("sswp"), nil
+	case "relpath":
+		return algorithms.NewReliablePath(root), rootedKey("relpath"), nil
+	case "":
+		return nil, "", fmt.Errorf("missing algorithm")
+	}
+	return nil, "", fmt.Errorf("unknown algorithm %q (want pr|ads|sssp|bfs|reach|cc|sswp|relpath)", req.Algorithm)
+}
+
+// normalizeEngine validates the engine choice, defaulting to the native
+// solver.
+func normalizeEngine(engine string) (string, error) {
+	switch engine {
+	case "", "solve":
+		return "solve", nil
+	case "accel", "graphicionado":
+		return engine, nil
+	}
+	return "", fmt.Errorf("unknown engine %q (want solve|accel|graphicionado)", engine)
+}

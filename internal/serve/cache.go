@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// cachedResult is one converged computation, published read-only: the
+// Values slice is never written after insertion, so handlers and
+// warm-start seeding may read it concurrently without copying.
+type cachedResult struct {
+	Values      []float64
+	Epoch       uint64
+	Mode        string // "cold" or "warm"
+	Activations int64
+	ComputeSecs float64
+}
+
+// seriesKey identifies a computation independent of graph version:
+// graph name + engine + canonical algorithm key. The full cache key
+// appends the epoch, so mutations version the cache instead of
+// invalidating it — older entries stay useful as warm-start sources.
+func seriesKey(graphName, engine, algKey string) string {
+	return graphName + "|" + engine + "|" + algKey
+}
+
+func fullKey(series string, epoch uint64) string {
+	return fmt.Sprintf("%s@%d", series, epoch)
+}
+
+type lruEntry struct {
+	key    string
+	series string
+	epoch  uint64
+	res    *cachedResult
+}
+
+// resultCache is a bounded LRU of cachedResults, with a per-series index
+// of the newest cached epoch for warm-start lookups.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	latest  map[string]uint64 // series → newest epoch with a live entry
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+		latest:  make(map[string]uint64),
+	}
+}
+
+func (c *resultCache) get(series string, epoch uint64) (*cachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fullKey(series, epoch)]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+func (c *resultCache) put(series string, epoch uint64, res *cachedResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := fullKey(series, epoch)
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&lruEntry{key: key, series: series, epoch: epoch, res: res})
+	c.entries[key] = el
+	if cur, ok := c.latest[series]; !ok || epoch > cur {
+		c.latest[series] = epoch
+	}
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		e := oldest.Value.(*lruEntry)
+		delete(c.entries, e.key)
+		if c.latest[e.series] == e.epoch {
+			// The newest entry for this series just left; warm starts for
+			// it fall back to cold solves until a query repopulates it.
+			delete(c.latest, e.series)
+		}
+	}
+}
+
+// latestBefore returns the newest cached result for series with an epoch
+// strictly below the given one — the warm-start source.
+func (c *resultCache) latestBefore(series string, epoch uint64) (*cachedResult, uint64, bool) {
+	c.mu.Lock()
+	e, ok := c.latest[series]
+	c.mu.Unlock()
+	if !ok || e >= epoch {
+		return nil, 0, false
+	}
+	res, ok := c.get(series, e)
+	if !ok {
+		return nil, 0, false
+	}
+	return res, e, true
+}
+
+// len reports live entries (tests).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flight is one in-progress computation that identical concurrent misses
+// coalesce onto. The leader computes under a context that outlives any
+// single request but is canceled once every waiter has abandoned the
+// result — request deadlines propagate to the engines without letting one
+// impatient client kill work others still want.
+type flight struct {
+	done chan struct{} // closed when res/err are set
+	res  *cachedResult
+	err  error
+
+	mu      sync.Mutex
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// join registers one more waiter.
+func (f *flight) join() {
+	f.mu.Lock()
+	f.waiters++
+	f.mu.Unlock()
+}
+
+// leave unregisters a waiter; the last one out cancels the computation if
+// it has not finished.
+func (f *flight) leave() {
+	f.mu.Lock()
+	f.waiters--
+	last := f.waiters == 0
+	f.mu.Unlock()
+	if last {
+		select {
+		case <-f.done:
+		default:
+			f.cancel()
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/baseline/graphicionado"
+	"graphpulse/internal/core"
+	"graphpulse/internal/graph"
+	"graphpulse/internal/sim"
+)
+
+// Body limits: queries are small; mutation batches carry edge lists.
+const (
+	maxQueryBody  = 1 << 20  // 1 MiB
+	maxMutateBody = 64 << 20 // 64 MiB
+	maxTopN       = 1000
+)
+
+// Handler returns the server's HTTP routing table. Mount it anywhere; the
+// worker pool and registry live on the Server, not the listener.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/mutate", s.handleMutate)
+	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, s.metrics.Render())
+	})
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// writeJSON encodes before touching the response so an encoding failure
+// surfaces as a clean 500, never a truncated 200.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(buf, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	infos := make([]GraphInfo, 0, len(s.order))
+	for _, name := range s.order {
+		infos = append(infos, s.graphs[name].info())
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.Add("mutate_requests", 1)
+	defer func() {
+		s.metrics.Observe("mutate_latency_us", time.Since(start).Microseconds())
+	}()
+	var req MutateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxMutateBody)).Decode(&req); err != nil {
+		s.metrics.Add("mutate_errors", 1)
+		writeError(w, http.StatusBadRequest, "bad mutate body: %v", err)
+		return
+	}
+	rg, ok := s.graphs[req.Graph]
+	if !ok {
+		s.metrics.Add("mutate_errors", 1)
+		writeError(w, http.StatusNotFound, "unknown graph %q", req.Graph)
+		return
+	}
+	if len(req.Edges) == 0 {
+		s.metrics.Add("mutate_errors", 1)
+		writeError(w, http.StatusBadRequest, "empty edge batch")
+		return
+	}
+	added := make([]graph.Edge, len(req.Edges))
+	for i, e := range req.Edges {
+		added[i] = graph.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight}
+	}
+	epoch, ng, err := rg.applyInsert(added)
+	if err != nil {
+		s.metrics.Add("mutate_errors", 1)
+		writeError(w, http.StatusBadRequest, "mutate rejected: %v", err)
+		return
+	}
+	s.metrics.Add("mutate_edges_added", int64(len(added)))
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Graph:       req.Graph,
+		Epoch:       epoch,
+		Added:       len(added),
+		NumVertices: ng.NumVertices(),
+		NumEdges:    ng.NumEdges(),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.Add("query_requests", 1)
+	defer func() {
+		s.metrics.Observe("query_latency_us", time.Since(start).Microseconds())
+	}()
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
+		s.metrics.Add("query_errors", 1)
+		writeError(w, http.StatusBadRequest, "bad query body: %v", err)
+		return
+	}
+	rg, ok := s.graphs[req.Graph]
+	if !ok {
+		s.metrics.Add("query_errors", 1)
+		writeError(w, http.StatusNotFound, "unknown graph %q", req.Graph)
+		return
+	}
+	engine, err := normalizeEngine(req.Engine)
+	if err != nil {
+		s.metrics.Add("query_errors", 1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	alg, algKey, err := makeAlgorithm(&req)
+	if err != nil {
+		s.metrics.Add("query_errors", 1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	g, epoch := rg.snapshot()
+	if req.Root != nil && int(*req.Root) >= g.NumVertices() {
+		s.metrics.Add("query_errors", 1)
+		writeError(w, http.StatusBadRequest, "root %d out of range (n=%d)", *req.Root, g.NumVertices())
+		return
+	}
+
+	// Per-request deadline, propagated into the engines through context
+	// cancellation (sim.Engine.RunUntil / algorithms.SolveCtx).
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	series := seriesKey(req.Graph, engine, algKey)
+	if res, ok := s.cache.get(series, epoch); ok {
+		s.metrics.Add("query_cache_hits", 1)
+		writeJSON(w, http.StatusOK, s.buildResponse(&req, g, engine, algKey, res, true, false))
+		return
+	}
+	s.metrics.Add("query_cache_misses", 1)
+
+	f, led, err := s.joinOrLead(series, epoch, rg, g, alg, engine)
+	if err != nil {
+		// Admission control: the compute queue is full. Never block, never
+		// buffer unboundedly — tell the client when to come back.
+		s.metrics.Add("query_rejected", 1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "compute queue full, retry later")
+		return
+	}
+	if !led {
+		s.metrics.Add("query_coalesced", 1)
+	}
+	defer f.leave()
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		s.metrics.Add("query_deadline_exceeded", 1)
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded waiting for computation")
+		return
+	}
+	if f.err != nil {
+		if errors.Is(f.err, sim.ErrCanceled) || errors.Is(f.err, context.DeadlineExceeded) {
+			s.metrics.Add("query_deadline_exceeded", 1)
+			writeError(w, http.StatusGatewayTimeout, "computation canceled: %v", f.err)
+			return
+		}
+		s.metrics.Add("query_errors", 1)
+		writeError(w, http.StatusInternalServerError, "compute failed: %v", f.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.buildResponse(&req, g, engine, algKey, f.res, false, !led))
+}
+
+// joinOrLead coalesces the caller onto an identical in-flight computation
+// or starts one on the worker pool. The returned flight has the caller
+// registered as a waiter (call leave exactly once). led reports whether
+// this caller started the computation; ErrBusy means admission control
+// rejected it.
+func (s *Server) joinOrLead(series string, epoch uint64, rg *residentGraph, g *graph.CSR, alg algorithms.Algorithm, engine string) (*flight, bool, error) {
+	key := fullKey(series, epoch)
+	s.flightMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		f.join()
+		s.flightMu.Unlock()
+		return f, false, nil
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), s.cfg.ComputeTimeout)
+	f := &flight{done: make(chan struct{}), cancel: cancel}
+	f.join()
+	s.flights[key] = f
+	s.flightMu.Unlock()
+
+	err := s.submit(func() {
+		defer cancel()
+		res, err := s.compute(cctx, rg, g, epoch, alg, series, engine)
+		if err == nil {
+			s.cache.put(series, epoch, res)
+		} else if errors.Is(err, sim.ErrCanceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.Add("compute_canceled", 1)
+		}
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		f.res, f.err = res, err
+		close(f.done)
+	})
+	if err != nil {
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		f.leave()
+		return nil, false, err
+	}
+	return f, true, nil
+}
+
+// compute runs one query computation: pick a warm start if a prior
+// epoch's fixed point is cached and the mutation history still covers the
+// gap, then execute on the chosen engine under ctx.
+func (s *Server) compute(ctx context.Context, rg *residentGraph, g *graph.CSR, epoch uint64, alg algorithms.Algorithm, series, engine string) (*cachedResult, error) {
+	if s.testComputeStall != nil {
+		s.testComputeStall(ctx)
+	}
+	start := time.Now()
+	mode := "cold"
+	runAlg := alg
+	if prior, priorEpoch, ok := s.cache.latestBefore(series, epoch); ok {
+		if seeder, ok := alg.(algorithms.InsertionSeeder); ok {
+			if base, added, ok := rg.warmPath(priorEpoch, epoch); ok {
+				state := append([]float64(nil), prior.Values...)
+				seeds := seeder.SeedInsertions(base, added, state)
+				runAlg = algorithms.WarmStart(alg, state, seeds)
+				mode = "warm"
+			}
+		}
+	}
+
+	var (
+		values      []float64
+		activations int64
+		err         error
+	)
+	switch engine {
+	case "solve":
+		var res *algorithms.SolveResult
+		res, err = algorithms.SolveCtx(ctx, g, runAlg)
+		if err == nil {
+			values, activations = res.Values, res.Activations
+		}
+	case "accel":
+		var a *core.Accelerator
+		a, err = core.New(core.OptimizedConfig(), g, runAlg)
+		if err == nil {
+			var res *core.Result
+			res, err = a.RunWithOptions(core.RunOptions{Ctx: ctx})
+			if err == nil {
+				values, activations = res.Values, res.EventsProcessed
+			}
+		}
+	case "graphicionado":
+		var res *graphicionado.Result
+		res, err = graphicionado.RunCtx(ctx, graphicionado.DefaultConfig(), g, runAlg)
+		if err == nil {
+			values, activations = res.Values, int64(res.EdgesTraversed)
+		}
+	default:
+		err = fmt.Errorf("serve: unknown engine %q", engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	s.metrics.Observe("compute_latency_us", elapsed.Microseconds())
+	if mode == "warm" {
+		s.metrics.Add("query_warm_starts", 1)
+	} else {
+		s.metrics.Add("query_cold_solves", 1)
+	}
+	return &cachedResult{
+		Values:      values,
+		Epoch:       epoch,
+		Mode:        mode,
+		Activations: activations,
+		ComputeSecs: elapsed.Seconds(),
+	}, nil
+}
+
+// buildResponse projects a cached result onto the slice of the answer the
+// request asked for.
+func (s *Server) buildResponse(req *QueryRequest, g *graph.CSR, engine, algKey string, res *cachedResult, fromCache, coalesced bool) *QueryResponse {
+	mode := res.Mode
+	if fromCache {
+		mode = "cache"
+	}
+	resp := &QueryResponse{
+		Graph:       req.Graph,
+		Epoch:       res.Epoch,
+		Algorithm:   algKey,
+		Engine:      engine,
+		Cached:      fromCache,
+		Mode:        mode,
+		Coalesced:   coalesced,
+		NumVertices: g.NumVertices(),
+		NumEdges:    g.NumEdges(),
+		Activations: res.Activations,
+		ComputeSecs: res.ComputeSecs,
+	}
+	sum := 0.0
+	for _, v := range res.Values {
+		if !math.IsInf(v, 0) && !math.IsNaN(v) {
+			sum += v
+		}
+	}
+	resp.Sum = sum
+	topN := req.Top
+	if topN == 0 {
+		topN = 10
+	}
+	if topN > maxTopN {
+		topN = maxTopN
+	}
+	if topN > 0 {
+		resp.Top = topVertices(res.Values, topN)
+	}
+	for _, v := range req.Vertices {
+		if int(v) < len(res.Values) {
+			resp.Values = append(resp.Values, VertexValue{Vertex: v, Value: res.Values[int(v)]})
+		}
+	}
+	return resp
+}
+
+// topVertices returns the n highest finite values, ties broken by vertex
+// id so responses are deterministic.
+func topVertices(values []float64, n int) []VertexValue {
+	idx := make([]int, 0, len(values))
+	for i, v := range values {
+		if !math.IsInf(v, 0) && !math.IsNaN(v) {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := values[idx[a]], values[idx[b]]
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b]
+	})
+	if len(idx) > n {
+		idx = idx[:n]
+	}
+	out := make([]VertexValue, len(idx))
+	for i, v := range idx {
+		out[i] = VertexValue{Vertex: uint32(v), Value: values[v]}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output diverges from golden\n-- got --\n%s-- want --\n%s", name, got, want)
+	}
+}
+
+// TestMetricsRenderGoldenEmpty pins the full pre-registered catalogue at
+// zero — what /metrics serves on a freshly booted server.
+func TestMetricsRenderGoldenEmpty(t *testing.T) {
+	m := NewMetrics()
+	checkGolden(t, "metrics_empty", []byte(m.Render()))
+}
+
+// TestMetricsRenderGoldenPopulated pins the rendering with deterministic
+// traffic applied: counter values and histogram bucket placement.
+func TestMetricsRenderGoldenPopulated(t *testing.T) {
+	m := NewMetrics()
+	m.Add("query_requests", 7)
+	m.Add("query_cache_hits", 4)
+	m.Add("query_cache_misses", 3)
+	m.Add("query_cold_solves", 2)
+	m.Add("query_warm_starts", 1)
+	m.Add("mutate_requests", 2)
+	m.Add("mutate_edges_added", 32)
+	for _, us := range []int64{90, 400, 900, 4_000, 40_000, 2_000_000} {
+		m.Observe("query_latency_us", us)
+	}
+	m.Observe("mutate_latency_us", 1_200)
+	m.Observe("compute_latency_us", 150_000)
+	checkGolden(t, "metrics_populated", []byte(m.Render()))
+}
+
+// TestMetricNamesComplete asserts MetricNames covers exactly the declared
+// counters and histograms — the contract the METRICS.md linter relies on.
+func TestMetricNamesComplete(t *testing.T) {
+	names := MetricNames()
+	want := map[string]bool{}
+	for _, n := range append(append([]string{}, serveCounters...), serveHistograms...) {
+		want[n] = true
+	}
+	if len(names) != len(want) {
+		t.Fatalf("MetricNames returned %d names, want %d", len(names), len(want))
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("MetricNames includes undeclared %q", n)
+		}
+	}
+}

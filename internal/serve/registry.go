@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+
+	"graphpulse/internal/graph"
+	"graphpulse/internal/graph/gen"
+)
+
+// GraphSpec names one resident graph and where it comes from. Exactly one
+// of Graph and Source must be set.
+type GraphSpec struct {
+	// Name is the handle queries and mutations address the graph by.
+	Name string
+	// Source is "ABBREV:tier" for a Table IV synthetic stand-in built
+	// through the shared gen cache (e.g. "WG:tiny", "LJ:mini"), or a path
+	// to an edge-list / binary container file.
+	Source string
+	// Graph is a pre-built in-memory graph (facade callers pass a
+	// *graphpulse.Graph directly).
+	Graph *graph.CSR
+}
+
+// ParseGraphArg parses the CLI form "name=source" (or a bare source, whose
+// name becomes the source string lowercased up to the first ':').
+func ParseGraphArg(arg string) (GraphSpec, error) {
+	name, source := "", arg
+	if i := strings.IndexByte(arg, '='); i >= 0 {
+		name, source = arg[:i], arg[i+1:]
+	}
+	if source == "" {
+		return GraphSpec{}, fmt.Errorf("serve: empty graph source in %q", arg)
+	}
+	if name == "" {
+		name = strings.ToLower(source)
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			name = name[:i]
+		}
+	}
+	return GraphSpec{Name: name, Source: source}, nil
+}
+
+var datasetSourceRE = regexp.MustCompile(`^([A-Za-z]{2,3}):(tiny|mini|full)$`)
+
+// loadSource materializes a GraphSpec's graph: a memoized dataset
+// stand-in, or a graph file (binary container detected by magic).
+func loadSource(spec GraphSpec, cache *gen.Cache) (*graph.CSR, error) {
+	if spec.Graph != nil {
+		return spec.Graph, nil
+	}
+	if m := datasetSourceRE.FindStringSubmatch(spec.Source); m != nil {
+		ds, err := gen.DatasetByAbbrev(strings.ToUpper(m[1]))
+		if err != nil {
+			return nil, err
+		}
+		var tier gen.Tier
+		switch m[2] {
+		case "tiny":
+			tier = gen.Tiny
+		case "mini":
+			tier = gen.Mini
+		case "full":
+			tier = gen.Full
+		}
+		return cache.Generate(ds, tier)
+	}
+	f, err := os.Open(spec.Source)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if magic, err := br.Peek(8); err == nil && binary.LittleEndian.Uint64(magic) == 0x47504353 {
+		return graph.ReadBinary(br)
+	}
+	return graph.ReadEdgeList(br, 0)
+}
+
+// mutation records one applied edge-insertion batch: the graph it was
+// applied to (epoch-1) and the edges it added. The bounded per-graph
+// history of these is what lets a query warm-start from a fixed point
+// converged several epochs ago.
+type mutation struct {
+	epoch uint64 // epoch after applying the batch
+	base  *graph.CSR
+	added []graph.Edge
+}
+
+// residentGraph is one registry entry: the current immutable CSR, its
+// epoch, and a bounded mutation history. Snapshots are consistent
+// (graph, epoch) pairs; mutations serialize on the write lock.
+type residentGraph struct {
+	name    string
+	histMax int
+
+	mu      sync.RWMutex
+	g       *graph.CSR
+	epoch   uint64
+	history []mutation
+}
+
+func loadResident(spec GraphSpec, cache *gen.Cache, histMax int) (*residentGraph, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("serve: graph spec needs a name")
+	}
+	g, err := loadSource(spec, cache)
+	if err != nil {
+		return nil, err
+	}
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("serve: graph %q is empty", spec.Name)
+	}
+	return &residentGraph{name: spec.Name, histMax: histMax, g: g}, nil
+}
+
+// snapshot returns a consistent (graph, epoch) pair.
+func (r *residentGraph) snapshot() (*graph.CSR, uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.g, r.epoch
+}
+
+// info summarizes the entry for /v1/graphs.
+func (r *residentGraph) info() GraphInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return GraphInfo{
+		Name:        r.name,
+		Epoch:       r.epoch,
+		NumVertices: r.g.NumVertices(),
+		NumEdges:    r.g.NumEdges(),
+		Weighted:    r.g.Weighted(),
+	}
+}
+
+// applyInsert rebuilds the CSR with the batch appended, bumps the epoch,
+// and records the mutation in the bounded history. The vertex set is
+// fixed: edges referencing unknown vertices are rejected whole-batch.
+func (r *residentGraph) applyInsert(added []graph.Edge) (uint64, *graph.CSR, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	edges := r.g.Edges()
+	edges = append(edges, added...)
+	ng, err := graph.FromEdges(r.g.NumVertices(), edges, r.g.Weighted())
+	if err != nil {
+		return 0, nil, err
+	}
+	r.history = append(r.history, mutation{
+		epoch: r.epoch + 1,
+		base:  r.g,
+		added: append([]graph.Edge(nil), added...),
+	})
+	if len(r.history) > r.histMax {
+		r.history = r.history[len(r.history)-r.histMax:]
+	}
+	r.g = ng
+	r.epoch++
+	return r.epoch, ng, nil
+}
+
+// warmPath returns what is needed to warm-start from a fixed point
+// converged at fromEpoch up to toEpoch: the graph as it stood at
+// fromEpoch and every edge added since, in order. It fails (ok=false)
+// when the history no longer reaches back that far or when toEpoch is not
+// the current epoch (the snapshot raced past a newer mutation — the
+// caller cold-solves instead).
+func (r *residentGraph) warmPath(fromEpoch, toEpoch uint64) (*graph.CSR, []graph.Edge, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if fromEpoch >= toEpoch || toEpoch != r.epoch {
+		return nil, nil, false
+	}
+	start := -1
+	for i, m := range r.history {
+		if m.epoch == fromEpoch+1 {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil, nil, false
+	}
+	base := r.history[start].base
+	var added []graph.Edge
+	for _, m := range r.history[start:] {
+		added = append(added, m.added...)
+	}
+	return base, added, true
+}

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/conformance"
+	"graphpulse/internal/graph"
+	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/sim"
+)
+
+// TestConcurrentQueriesAndMutations hammers one resident graph with
+// parallel readers while a mutator streams edge batches in, asserting
+// every response is epoch-consistent: the values served for epoch E match
+// a from-scratch Solve on the graph exactly as it stood at epoch E. Run
+// under -race this also shakes out registry/cache/singleflight races.
+func TestConcurrentQueriesAndMutations(t *testing.T) {
+	base, err := gen.ErdosRenyi(300, 1500, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Graphs = []GraphSpec{{Name: "g", Graph: base}}
+	})
+	_ = s
+
+	// The mutator records the cumulative edge list as of each epoch so
+	// readers can reconstruct the exact graph any response was solved on.
+	var (
+		oracleMu    sync.Mutex
+		edgesAt     = map[uint64][]graph.Edge{0: base.Edges()}
+		solvedAt    = map[uint64][]float64{}
+		root        = uint32(7)
+		alg         = algorithms.NewSSSP(graph.VertexID(root))
+		numVertices = base.NumVertices()
+	)
+	// oracleValues lazily solves SSSP on the graph as of the given epoch.
+	// The server bumps the epoch before the mutator goroutine records the
+	// matching edge list, so a fast reader may need to wait for it.
+	oracleValues := func(epoch uint64) ([]float64, error) {
+		oracleMu.Lock()
+		defer oracleMu.Unlock()
+		if vals, ok := solvedAt[epoch]; ok {
+			return vals, nil
+		}
+		edges, ok := edgesAt[epoch]
+		for deadline := time.Now().Add(5 * time.Second); !ok; edges, ok = edgesAt[epoch] {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("no edge record for epoch %d", epoch)
+			}
+			oracleMu.Unlock()
+			time.Sleep(time.Millisecond)
+			oracleMu.Lock()
+		}
+		g, err := graph.FromEdges(numVertices, edges, true)
+		if err != nil {
+			return nil, err
+		}
+		vals := algorithms.Solve(g, alg).Values
+		solvedAt[epoch] = vals
+		return vals, nil
+	}
+
+	const (
+		readers      = 8
+		queriesEach  = 30
+		mutateEvery  = 25 * time.Millisecond
+		mutationSpan = 12
+	)
+	stopMutator := make(chan struct{})
+	var mutWG sync.WaitGroup
+	mutWG.Add(1)
+	go func() {
+		defer mutWG.Done()
+		rng := rand.New(rand.NewSource(77))
+		cur := append([]graph.Edge(nil), base.Edges()...)
+		for i := 0; i < mutationSpan; i++ {
+			select {
+			case <-stopMutator:
+				return
+			case <-time.After(mutateEvery):
+			}
+			var added []EdgeJSON
+			for j := 0; j < 10; j++ {
+				added = append(added, EdgeJSON{
+					Src:    uint32(rng.Intn(numVertices)),
+					Dst:    uint32(rng.Intn(numVertices)),
+					Weight: float32(rng.Float64() + 0.05),
+				})
+			}
+			code, body, _ := postJSON(t, ts.URL+"/v1/mutate", MutateRequest{Graph: "g", Edges: added})
+			if code != 200 {
+				t.Errorf("mutate: HTTP %d: %s", code, body)
+				return
+			}
+			for _, e := range added {
+				cur = append(cur, graph.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight})
+			}
+			oracleMu.Lock()
+			edgesAt[uint64(i+1)] = append([]graph.Edge(nil), cur...)
+			oracleMu.Unlock()
+		}
+	}()
+
+	probes := make([]uint32, 16)
+	for i := range probes {
+		probes[i] = uint32(i * 17 % numVertices)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for q := 0; q < queriesEach; q++ {
+				resp := doQuery(t, ts.URL, QueryRequest{
+					Graph: "g", Algorithm: "sssp", Root: &root, Vertices: probes,
+				})
+				want, err := oracleValues(resp.Epoch)
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				for _, vv := range resp.Values {
+					got := []float64{vv.Value}
+					ref := []float64{want[vv.Vertex]}
+					if err := conformance.CompareValues("stress", got, ref, 0); err != nil {
+						t.Errorf("reader %d epoch %d vertex %d (mode %s): %v",
+							r, resp.Epoch, vv.Vertex, resp.Mode, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stopMutator)
+	mutWG.Wait()
+
+	m := s.Metrics()
+	t.Logf("stress: %d requests, %d hits, %d cold, %d warm, %d coalesced",
+		m.Counter("query_requests"), m.Counter("query_cache_hits"),
+		m.Counter("query_cold_solves"), m.Counter("query_warm_starts"),
+		m.Counter("query_coalesced"))
+	if m.Counter("query_errors") != 0 {
+		t.Errorf("query_errors = %d, want 0", m.Counter("query_errors"))
+	}
+}
+
+// TestSolveCtxCancel pins the satellite contract: the native solver path
+// observes context cancellation and returns sim.ErrCanceled.
+func TestSolveCtxCancel(t *testing.T) {
+	g, err := gen.ErdosRenyi(2000, 20000, true, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = algorithms.SolveCtx(ctx, g, algorithms.NewPageRankDelta())
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("SolveCtx with canceled context: err = %v, want sim.ErrCanceled", err)
+	}
+	// And the uncanceled path still converges.
+	res, err := algorithms.SolveCtx(context.Background(), g, algorithms.NewPageRankDelta())
+	if err != nil || res == nil {
+		t.Fatalf("SolveCtx with live context: %v", err)
+	}
+}

@@ -1,9 +1,9 @@
 // Command lintdoc keeps METRICS.md in sync with the metrics the simulator
 // actually emits. It runs tiny telemetry-enabled simulations of every engine
 // (accelerator, cluster, Graphicionado baseline), collects each registered
-// series name plus the DDR3 stats.Set counter names and the stage/state
-// keys, and fails if any collected name is not mentioned in METRICS.md in
-// backticks. CI runs it (`go run ./internal/sim/telemetry/lintdoc`) and
+// series name plus the DDR3 stats.Set counter names, the stage/state keys,
+// and the serving-layer metric catalogue, and fails if any collected name
+// is not mentioned in METRICS.md in backticks. CI runs it (`go run ./internal/sim/telemetry/lintdoc`) and
 // `go test` covers the same check.
 package main
 
@@ -18,6 +18,7 @@ import (
 	"graphpulse/internal/core"
 	"graphpulse/internal/graph/gen"
 	"graphpulse/internal/mem"
+	"graphpulse/internal/serve"
 	"graphpulse/internal/sim/telemetry"
 )
 
@@ -86,6 +87,9 @@ func emittedNames() ([]string, error) {
 
 	// DDR3 stats.Set counters and the latency histogram.
 	add(mem.New(mem.DefaultConfig()).Stats().Names()...)
+
+	// Serving-layer counters and latency histograms.
+	add(serve.MetricNames()...)
 
 	// Stage-timer and unit-state keys surfaced through core.Result.
 	add(core.StageNames...)
