@@ -4,6 +4,7 @@
 //
 //	bench [-exp fig10,fig11] [-tier tiny|mini|full] [-datasets LJ,WG] [-algs pr,bfs]
 //	      [-parallel N] [-progress] [-timeout 10m] [-manifest run.json] [-resume]
+//	      [-engines solve,psolve]
 //
 // With no -exp it runs every experiment in paper order. Tier controls
 // workload scale: tiny (seconds, default), mini (minutes), full
@@ -21,6 +22,9 @@
 // are byte-identical to an uninterrupted run. -faults passes an explicit
 // fault spec (see ROADMAP/EXPERIMENTS) to the "faults" experiment.
 //
+// -engines selects which registry engines (internal/engines) the "scaling"
+// experiment times; names are validated against the registry.
+//
 // -telemetry PREFIX makes the timeline experiment export its time series as
 // PREFIX.csv and PREFIX.trace.json (Chrome trace_event; loads in Perfetto —
 // see EXPERIMENTS.md "Time-resolved figures" and METRICS.md).
@@ -36,6 +40,7 @@ import (
 	"strings"
 
 	"graphpulse/internal/bench"
+	"graphpulse/internal/engines"
 	"graphpulse/internal/graph/gen"
 )
 
@@ -56,6 +61,7 @@ func main() {
 		manifestFlag = flag.String("manifest", "", "maintain a resumable run manifest (JSON, rewritten atomically after each sweep job)")
 		resumeFlag   = flag.Bool("resume", false, "restore completed jobs from the -manifest file instead of re-running them")
 		faultsFlag   = flag.String("faults", "", "fault spec for the faults experiment, e.g. drop=1e-4,seed=7 (default: built-in rate sweep)")
+		enginesFlag  = flag.String("engines", "", "comma-separated registry engines for the scaling experiment ("+engines.NamesList()+"; default solve,psolve)")
 	)
 	flag.Parse()
 
@@ -102,6 +108,7 @@ func main() {
 		Manifest:      *manifestFlag,
 		Resume:        *resumeFlag,
 		FaultSpec:     *faultsFlag,
+		Engines:       splitList(*enginesFlag),
 	}
 	if *progressFlag {
 		opt.Progress = os.Stderr

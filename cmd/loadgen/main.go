@@ -20,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"graphpulse/internal/engines"
 	"graphpulse/internal/loadgen"
 )
 
@@ -29,7 +30,7 @@ func main() {
 		graph   = flag.String("graph", "", "resident graph name to target (required)")
 		alg     = flag.String("alg", "pr", "algorithm: pr|ads|sssp|bfs|reach|cc|sswp|relpath")
 		root    = flag.Uint("root", 0, "root vertex for rooted algorithms")
-		engine  = flag.String("engine", "", "engine: solve (default) | accel | graphicionado")
+		engine  = flag.String("engine", "", "engine registry name: "+engines.NamesList()+" (default solve)")
 		qps     = flag.Float64("qps", 0, "open-loop target arrival rate (0 = closed loop)")
 		conc    = flag.Int("c", 8, "client concurrency")
 		dur     = flag.Duration("d", 5*time.Second, "load duration")

@@ -41,6 +41,9 @@ func Solve(g *graph.CSR, alg Algorithm) *SolveResult {
 // fails.
 func SolveCtx(ctx context.Context, g *graph.CSR, alg Algorithm) (*SolveResult, error) {
 	n := g.NumVertices()
+	if n == 0 {
+		return &SolveResult{Values: []Value{}}, nil
+	}
 	state := make([]Value, n)
 	acc := make([]Value, n)
 	inList := make([]bool, n)
@@ -49,19 +52,29 @@ func SolveCtx(ctx context.Context, g *graph.CSR, alg Algorithm) (*SolveResult, e
 		state[v] = alg.InitState(graph.VertexID(v))
 		acc[v] = id
 	}
-	worklist := make([]graph.VertexID, 0, n)
+	// Fixed-capacity ring FIFO: inList guarantees each vertex occupies at
+	// most one slot, so n slots suffice. (A `worklist = worklist[1:]` pop
+	// would pin the consumed prefix of the backing array for the whole solve
+	// and force append to grow a fresh array once the tail passes cap.)
+	ring := make([]graph.VertexID, n)
+	head, count := 0, 0
 	push := func(v graph.VertexID, d Value) {
 		acc[v] = alg.Reduce(acc[v], d)
 		if !inList[v] {
 			inList[v] = true
-			worklist = append(worklist, v)
+			tail := head + count
+			if tail >= n {
+				tail -= n
+			}
+			ring[tail] = v
+			count++
 		}
 	}
 	for _, ev := range alg.InitialEvents(g) {
 		push(ev.Vertex, ev.Delta)
 	}
 	res := &SolveResult{}
-	for len(worklist) > 0 {
+	for count > 0 {
 		if ctx != nil && res.Activations%ctxPollInterval == 0 {
 			select {
 			case <-ctx.Done():
@@ -69,8 +82,11 @@ func SolveCtx(ctx context.Context, g *graph.CSR, alg Algorithm) (*SolveResult, e
 			default:
 			}
 		}
-		v := worklist[0]
-		worklist = worklist[1:]
+		v := ring[head]
+		if head++; head == n {
+			head = 0
+		}
+		count--
 		inList[v] = false
 		delta := acc[v]
 		acc[v] = id

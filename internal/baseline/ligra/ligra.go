@@ -15,6 +15,8 @@
 package ligra
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -22,6 +24,7 @@ import (
 
 	"graphpulse/internal/algorithms"
 	"graphpulse/internal/graph"
+	"graphpulse/internal/sim"
 )
 
 // AccessStats counts memory operations by kind, matching the Table I
@@ -80,6 +83,10 @@ func DefaultConfig() Config {
 type Result struct {
 	Values     []float64
 	Iterations int
+	// VertexUpdates counts per-vertex delta applications across all
+	// iterations (the frontier sizes summed) — the BSP analogue of the
+	// worklist solver's activation count.
+	VertexUpdates int64
 	// EdgesTraversed counts edge relaxations across all iterations.
 	EdgesTraversed int64
 	// PushIterations/PullIterations count the direction decisions.
@@ -169,6 +176,15 @@ func (a *accumulator) reduceLocal(v graph.VertexID, delta float64, reduce func(x
 //  2. EdgeMap: push (sparse) or pull (dense) the deltas to neighbors,
 //     building the next frontier.
 func (e *Engine) Run(alg algorithms.Algorithm) *Result {
+	res, _ := e.RunCtx(nil, alg)
+	return res
+}
+
+// RunCtx runs like Run with wall-clock cancellation: the context is polled
+// once per BSP iteration and cancellation returns an error wrapping
+// sim.ErrCanceled, the sentinel shared with the worklist solvers and the
+// simulated engines. A nil ctx disables cancellation and never fails.
+func (e *Engine) RunCtx(ctx context.Context, alg algorithms.Algorithm) (*Result, error) {
 	n := e.g.NumVertices()
 	res := &Result{}
 	state := make([]float64, n)
@@ -190,7 +206,15 @@ func (e *Engine) Run(alg algorithms.Algorithm) *Result {
 	}
 
 	for iter := 0; iter < e.cfg.MaxIterations && len(frontier) > 0; iter++ {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w after %d iterations: %v", sim.ErrCanceled, res.Iterations, ctx.Err())
+			default:
+			}
+		}
 		res.Iterations++
+		res.VertexUpdates += int64(len(frontier))
 		// Phase 1: apply deltas, filter to changed vertices.
 		changed := frontier[:0]
 		var frontierEdges int64
@@ -229,7 +253,7 @@ func (e *Engine) Run(alg algorithms.Algorithm) *Result {
 		frontier = append(frontier[:0], next...)
 	}
 	res.Values = state
-	return res
+	return res, nil
 }
 
 // parallelChunks runs fn over [0,total) split across the configured workers.

@@ -54,6 +54,7 @@ func Experiments() []Experiment {
 		{ID: "cluster", Title: "Multi-accelerator slicing (Section IV-F option b)", Run: runCluster},
 		{ID: "ablation", Title: "Design-choice ablations (coalescing, prefetch, streams)", Run: runAblation},
 		{ID: "timeline", Title: "Time-resolved telemetry (queue occupancy, event rate, DRAM bandwidth)", Run: runTimeline},
+		{ID: "scaling", Title: "Parallel native solver speedup vs worker count", Run: runScaling},
 		{ID: "faults", Title: "Fault-injection survival matrix (detection, tolerance, silent corruption)", Run: runFaults},
 	}
 }

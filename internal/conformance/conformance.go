@@ -1,9 +1,12 @@
 // Package conformance is the repository's differential-testing subsystem:
 // it runs any (graph, algorithm) pair through every engine — the textbook
-// reference oracles, the algorithms.Solve worklist, the GraphPulse
-// accelerator model, the Graphicionado baseline, and the Ligra baseline —
-// and asserts that they all converge to the same fixed point, within the
-// single tolerance policy defined in this package (see Tolerance).
+// reference oracles, the algorithms.Solve worklist, the psolve sharded
+// parallel solver, the GraphPulse accelerator model, the Graphicionado
+// baseline, and the Ligra baseline — and asserts that they all converge to
+// the same fixed point, within the single tolerance policy defined in this
+// package (see Tolerance). The engine set itself comes from the
+// internal/engines registry, so a newly registered engine joins the matrix
+// without this package growing another hand-maintained case.
 //
 // The paper's evaluation (Section VI) compares only cycle counts across
 // engines; that comparison is meaningful only if the engines are
@@ -30,7 +33,9 @@ import (
 	"graphpulse/internal/baseline/graphicionado"
 	"graphpulse/internal/baseline/ligra"
 	"graphpulse/internal/core"
+	"graphpulse/internal/engines"
 	"graphpulse/internal/graph"
+	"graphpulse/internal/psolve"
 )
 
 // Engine is one way of driving an Algorithm over a graph to its fixed
@@ -92,6 +97,36 @@ func EngineLigra(cfg ligra.Config) Engine {
 	}
 }
 
+// EnginePSolve wraps the sharded parallel worklist solver under cfg.
+func EnginePSolve(cfg psolve.Config) Engine {
+	return Engine{
+		Name: fmt.Sprintf("psolve[w=%d]", cfg.Workers),
+		Run: func(g *graph.CSR, mk func() algorithms.Algorithm) ([]float64, error) {
+			res, err := psolve.SolveCtx(nil, g, mk(), cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Values, nil
+		},
+	}
+}
+
+// FromRegistry adapts an internal/engines registry engine to the
+// conformance harness, for engines that need no suite-specific
+// configuration or invariants.
+func FromRegistry(e engines.Engine) Engine {
+	return Engine{
+		Name: e.Name(),
+		Run: func(g *graph.CSR, mk func() algorithms.Algorithm) ([]float64, error) {
+			res, err := e.SolveCtx(nil, g, mk())
+			if err != nil {
+				return nil, err
+			}
+			return res.Values, nil
+		},
+	}
+}
+
 // AcceleratorConfig is the conformance-suite accelerator build: the paper's
 // optimized design with the cycle deadline raised (tiny adversarial graphs
 // such as long chains burn many rounds).
@@ -109,17 +144,46 @@ func LigraConfig() ligra.Config {
 	return cfg
 }
 
-// Engines returns the default engine set compared by Verify: the worklist
-// solver, the accelerator model, Graphicionado, and Ligra. Together with
-// the reference oracle consulted by Verify itself, this covers all five
-// implementations in the repository.
+// PSolveConfig is the conformance-suite parallel-solver build: like
+// LigraConfig, a small fixed shard count so heavily parallel test runs
+// don't oversubscribe the host, while still exercising cross-shard
+// exchange.
+func PSolveConfig() psolve.Config {
+	cfg := psolve.DefaultConfig()
+	cfg.Workers = 4
+	return cfg
+}
+
+// Engines returns the default engine set compared by Verify, one entry per
+// internal/engines registry name. Engines carrying suite-specific
+// configuration or invariants (the accelerator's raised cycle deadline and
+// event-conservation check, the fixed worker counts for Ligra and psolve)
+// keep their dedicated wrappers; anything newly registered flows through
+// FromRegistry untouched. Together with the reference oracle consulted by
+// Verify itself, this covers all six implementations in the repository.
 func Engines() []Engine {
-	return []Engine{
-		EngineSolve(),
-		EngineAccelerator(AcceleratorConfig()),
-		EngineGraphicionado(graphicionado.DefaultConfig()),
-		EngineLigra(LigraConfig()),
+	var out []Engine
+	for _, name := range engines.Names() {
+		switch name {
+		case engines.Solve:
+			out = append(out, EngineSolve())
+		case engines.PSolve:
+			out = append(out, EnginePSolve(PSolveConfig()))
+		case engines.Accel:
+			out = append(out, EngineAccelerator(AcceleratorConfig()))
+		case engines.Graphicionado:
+			out = append(out, EngineGraphicionado(graphicionado.DefaultConfig()))
+		case engines.Ligra:
+			out = append(out, EngineLigra(LigraConfig()))
+		default:
+			e, err := engines.Lookup(name)
+			if err != nil {
+				panic(fmt.Sprintf("conformance: registry name %q has no engine: %v", name, err))
+			}
+			out = append(out, FromRegistry(e))
+		}
 	}
+	return out
 }
 
 // Options tunes Verify.

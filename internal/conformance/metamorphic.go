@@ -18,10 +18,10 @@ import (
 // computation: running c on g relabeled by a random permutation must yield
 // the permuted values (for label-independent algorithms) or a consistently
 // permuted partition (for ConnectedComponents, whose values ARE labels).
-// The relabeled run goes through both the worklist solver and the
-// accelerator — relabeling changes the queue's vertex→(bin,row,col) mapping
-// and the slice assignment, so this doubles as a scheduling-independence
-// test.
+// The relabeled run goes through the worklist solver, the parallel solver,
+// and the accelerator — relabeling changes the queue's vertex→(bin,row,col)
+// mapping, the accelerator's slice assignment, and psolve's shard
+// boundaries, so this doubles as a scheduling-independence test.
 func VerifyRelabelInvariance(g *graph.CSR, c AlgCase, seed int64) error {
 	if c.Name == "connected-components" {
 		// Max-label propagation on a directed graph assigns each vertex the
@@ -51,7 +51,7 @@ func VerifyRelabelInvariance(g *graph.CSR, c AlgCase, seed int64) error {
 	mk := c.Maker(perm[root])
 	tol := 2 * Tolerance(mk(), prepared)
 
-	for _, e := range []Engine{EngineSolve(), EngineAccelerator(AcceleratorConfig())} {
+	for _, e := range []Engine{EngineSolve(), EnginePSolve(PSolveConfig()), EngineAccelerator(AcceleratorConfig())} {
 		got, err := e.Run(rg, mk)
 		if err != nil {
 			return fmt.Errorf("relabel/%s: %w", e.Name, err)
@@ -156,6 +156,36 @@ func VerifyPartitionInvariance(g *graph.CSR, c AlgCase) error {
 	// Slice count must not even perturb the float summation order's result
 	// beyond the tolerance; for monotone algorithms this is exact equality.
 	return CompareValues(fmt.Sprintf("partition 1-slice vs N-slice on %s", c.Name), values[1], values[0], tol)
+}
+
+// VerifyWorkerCountInvariance is the psolve analogue of
+// VerifyPartitionInvariance: the shard count is a scheduling knob, not a
+// semantic one, so the parallel solver must agree with the serial worklist
+// solver at every worker count — exactly, for the monotone algorithms
+// (Tolerance 0), and within the threshold-residue band for the sum-based
+// ones.
+func VerifyWorkerCountInvariance(g *graph.CSR, c AlgCase, workerCounts []int) error {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 3, 8}
+	}
+	prepared := c.Prepared(g)
+	root := BestRoot(prepared)
+	mk := c.Maker(root)
+	want := algorithms.Solve(prepared, mk()).Values
+	tol := Tolerance(mk(), prepared)
+	for _, w := range workerCounts {
+		cfg := PSolveConfig()
+		cfg.Workers = w
+		e := EnginePSolve(cfg)
+		got, err := e.Run(prepared, mk)
+		if err != nil {
+			return fmt.Errorf("workers/%s on %s: %w", e.Name, c.Name, err)
+		}
+		if err := CompareValues(fmt.Sprintf("%s vs solve on %s", e.Name, c.Name), got, want, tol); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // VerifyIncremental checks the streaming-update path: converging on a base

@@ -125,6 +125,25 @@ func Contiguous(g *graph.CSR, maxVertices, refine int) (*Partitioning, error) {
 	return p, nil
 }
 
+// Split partitions g into at most parts contiguous slices — the
+// worker-sharding entry point used by the parallel solver (psolve). It is
+// Contiguous with the bound expressed as a slice count: a graph with fewer
+// vertices than parts yields one single-vertex slice per vertex, and an
+// empty graph yields zero slices. parts must be positive.
+func Split(g *graph.CSR, parts, refine int) (*Partitioning, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("partition: parts=%d, want > 0", parts)
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return &Partitioning{}, nil
+	}
+	if parts > n {
+		parts = n
+	}
+	return Contiguous(g, (n+parts-1)/parts, refine)
+}
+
 // boundaryCut counts edges crossing the single boundary bounds[b] in either
 // direction, restricted to the two slices adjacent to it. It is the local
 // objective for refinement.

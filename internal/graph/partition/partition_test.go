@@ -226,3 +226,128 @@ func TestPropertySlicesPartition(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSplitRejectsBadParts(t *testing.T) {
+	g, _ := gen.Chain(10, false)
+	if _, err := Split(g, 0, 0); err == nil {
+		t.Error("Split accepted parts=0")
+	}
+	if _, err := Split(g, -3, 0); err == nil {
+		t.Error("Split accepted negative parts")
+	}
+}
+
+func TestSplitEmptyGraph(t *testing.T) {
+	g, err := graph.FromEdges(0, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Split(g, 8, 1)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if p.NumSlices() != 0 || p.CutEdges != 0 {
+		t.Errorf("empty graph: slices=%d cut=%d, want 0/0", p.NumSlices(), p.CutEdges)
+	}
+}
+
+func TestSplitSingleVertex(t *testing.T) {
+	g, err := graph.FromEdges(1, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{1, 2, 16} {
+		p, err := Split(g, parts, 1)
+		if err != nil {
+			t.Fatalf("Split(parts=%d): %v", parts, err)
+		}
+		if p.NumSlices() != 1 {
+			t.Fatalf("parts=%d: NumSlices = %d, want 1", parts, p.NumSlices())
+		}
+		if s := p.Slices[0]; s.Lo != 0 || s.Hi != 1 {
+			t.Errorf("parts=%d: slice = %+v, want [0,1)", parts, s)
+		}
+		if got := p.SliceOf(0); got != 0 {
+			t.Errorf("parts=%d: SliceOf(0) = %d, want 0", parts, got)
+		}
+	}
+}
+
+func TestSplitMorePartsThanVertices(t *testing.T) {
+	// parts clamps to the vertex count: every slice holds exactly one vertex
+	// and the cover is still exact.
+	g, err := gen.Chain(5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Split(g, 64, 1)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if p.NumSlices() != 5 {
+		t.Fatalf("NumSlices = %d, want 5", p.NumSlices())
+	}
+	for i, s := range p.Slices {
+		if s.NumVertices() != 1 || s.Lo != graph.VertexID(i) {
+			t.Errorf("slice %d = %+v, want single vertex %d", i, s, i)
+		}
+	}
+	// A chain split into n singleton slices cuts every edge.
+	if p.CutEdges != 4 {
+		t.Errorf("CutEdges = %d, want 4", p.CutEdges)
+	}
+}
+
+func TestSplitIsolatedVerticesOnly(t *testing.T) {
+	// A graph with vertices but no edges: any split is valid with zero cut,
+	// and refinement must not move boundaries below/above neighbors.
+	g, err := graph.FromEdges(12, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{1, 3, 5, 12} {
+		p, err := Split(g, parts, 2)
+		if err != nil {
+			t.Fatalf("Split(parts=%d): %v", parts, err)
+		}
+		if p.NumSlices() == 0 || p.NumSlices() > parts {
+			t.Fatalf("parts=%d: NumSlices = %d", parts, p.NumSlices())
+		}
+		if p.CutEdges != 0 {
+			t.Errorf("parts=%d: CutEdges = %d, want 0", parts, p.CutEdges)
+		}
+		prev := graph.VertexID(0)
+		for _, s := range p.Slices {
+			if s.Lo != prev || s.Hi < s.Lo {
+				t.Fatalf("parts=%d: non-contiguous slice %+v after %d", parts, s, prev)
+			}
+			prev = s.Hi
+		}
+		if int(prev) != 12 {
+			t.Fatalf("parts=%d: cover ends at %d, want 12", parts, prev)
+		}
+	}
+}
+
+func TestSplitSliceCountNeverExceedsParts(t *testing.T) {
+	f := func(seed int64, nRaw uint8, partsRaw uint8) bool {
+		n := int(nRaw)%150 + 1
+		parts := int(partsRaw)%20 + 1
+		g, err := gen.ErdosRenyi(n, n*3, false, seed)
+		if err != nil {
+			return false
+		}
+		p, err := Split(g, parts, 1)
+		if err != nil {
+			return false
+		}
+		want := parts
+		if n < parts {
+			want = n
+		}
+		return p.NumSlices() <= want && p.NumSlices() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

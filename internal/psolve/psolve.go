@@ -1,0 +1,551 @@
+// Package psolve is the sharded parallel counterpart of the sequential
+// worklist solver (algorithms.SolveCtx): the paper's event-driven execution
+// model mapped onto host threads instead of simulated hardware queues.
+//
+// The vertex set is split into contiguous shards via internal/graph/partition
+// (one shard per worker, boundaries refined to reduce the edge cut). Each
+// worker owns its shard's state and runs a private coalescing worklist — a
+// fixed-capacity ring buffer plus a per-vertex accumulator, exactly the
+// in-place event coalescing of paper Section IV-B, but per shard. Deltas for
+// vertices owned by another worker are coalesced into a dense per-worker
+// remote accumulator (one slot per vertex, reduced in place, with a dirty
+// list per destination shard) and exchanged in batches over channels — the
+// software analogue of the accelerator's inter-queue event routing.
+//
+// Termination is the paper's global check (Section IV-C) in software: a
+// single atomic counter tracks every undelivered unit of work — queued
+// worklist entries, buffered remote-delta entries, and in-flight batch
+// entries. Every increment happens before the decrement of the work item
+// that caused it, so the counter reaches zero only at true global
+// quiescence; the worker that decrements it to zero closes the done channel.
+//
+// Cancellation matches sim.ErrCanceled semantics: workers poll the context
+// every ctxPollInterval activations and the first to observe cancellation
+// stops the fleet, so a server deadline cancels a parallel solve, a serial
+// solve, and a cycle-level simulation through one errors.Is check.
+package psolve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/graph"
+	"graphpulse/internal/graph/partition"
+	"graphpulse/internal/sim"
+)
+
+// ctxPollInterval matches algorithms.SolveCtx and sim.Engine.RunUntil: a
+// select per pop would dominate the loop, and wall-clock deadlines never
+// need finer granularity.
+const ctxPollInterval = 1024
+
+// processChunk is how many local pops a worker performs between inbox
+// drains, bounding the latency of cross-shard delta delivery without paying
+// a channel poll per activation.
+const processChunk = 64
+
+// Config tunes the parallel solver. The zero value of every field selects
+// the documented default.
+type Config struct {
+	// Workers is the shard/goroutine count (default GOMAXPROCS, clamped to
+	// the vertex count — a 3-vertex graph never runs more than 3 workers).
+	Workers int
+	// BatchSize is the buffered remote-vertex count at which a worker flushes
+	// its cross-shard deltas to their owners (default 256). Larger
+	// batches coalesce more and message less; smaller batches cut the
+	// latency of remote delta delivery.
+	BatchSize int
+	// RefinePasses is the number of partition boundary-refinement sweeps
+	// used to reduce the cross-shard edge cut (default 1).
+	RefinePasses int
+}
+
+// DefaultConfig returns the documented defaults.
+func DefaultConfig() Config {
+	return Config{Workers: runtime.GOMAXPROCS(0), BatchSize: 256, RefinePasses: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.RefinePasses <= 0 {
+		c.RefinePasses = 1
+	}
+	return c
+}
+
+// Result is the outcome of a parallel solve. Values agrees with the serial
+// solver within conformance.Tolerance (exactly, for monotone min/max
+// algorithms); the counters are the solver's observability surface,
+// documented in METRICS.md ("Parallel solver metrics").
+type Result struct {
+	// Values is the converged vertex state.
+	Values []float64
+	// Activations counts vertex updates performed across all workers
+	// (`psolve_worker_activations` summed).
+	Activations int64
+	// Emitted counts propagated edge deltas across all workers.
+	Emitted int64
+	// Workers is the number of shards actually used (`psolve_workers`).
+	Workers int
+	// WorkerActivations is the per-shard activation count
+	// (`psolve_worker_activations`); imbalance here means a skewed
+	// partition.
+	WorkerActivations []int64
+	// CrossShardDeltas counts coalesced delta entries delivered between
+	// shards over channels (`psolve_cross_shard_deltas`).
+	CrossShardDeltas int64
+	// CrossShardCoalesced counts remote deltas merged into an
+	// already-buffered outbound entry instead of travelling on their own
+	// (`psolve_cross_shard_coalesced`) — the software measure of the
+	// paper's in-flight event coalescing across queue boundaries.
+	CrossShardCoalesced int64
+	// CrossShardBatches counts channel sends (`psolve_cross_shard_batches`).
+	CrossShardBatches int64
+	// TerminationRounds sums each worker's local-quiescence episodes
+	// (`psolve_termination_rounds`): how often a worker drained its shard
+	// and went idle before new cross-shard work arrived or the global
+	// counter hit zero.
+	TerminationRounds int64
+	// CutEdges is the partition edge cut (`psolve_cut_edges`): edges whose
+	// endpoints live in different shards, each a potential cross-shard
+	// delta per propagation.
+	CutEdges int
+}
+
+// MetricNames lists the solver metric names for the METRICS.md staleness
+// linter (lintdoc), mirroring the Result counter fields.
+func MetricNames() []string {
+	return []string{
+		"psolve_workers",
+		"psolve_worker_activations",
+		"psolve_cross_shard_deltas",
+		"psolve_cross_shard_coalesced",
+		"psolve_cross_shard_batches",
+		"psolve_termination_rounds",
+		"psolve_cut_edges",
+	}
+}
+
+// delta is one (vertex, accumulated value) cross-shard message entry.
+type delta struct {
+	v graph.VertexID
+	d float64
+}
+
+// batch is the unit of cross-shard exchange: a flushed coalescing map.
+type batch []delta
+
+// solver is the shared run state.
+type solver struct {
+	g     *graph.CSR
+	alg   algorithms.Algorithm
+	cfg   Config
+	ctx   context.Context
+	part  *partition.Partitioning
+	state []float64
+	id    float64
+
+	workers []*worker
+
+	// outstanding counts queued worklist entries + buffered remote-delta
+	// entries + in-flight batch entries. Zero ⇔ global quiescence.
+	outstanding atomic.Int64
+	done        chan struct{}
+	doneOnce    sync.Once
+
+	stop     chan struct{}
+	failOnce sync.Once
+	err      error
+
+	wg sync.WaitGroup
+}
+
+// worker owns the contiguous vertex shard [lo, hi).
+type worker struct {
+	idx    int
+	lo, hi graph.VertexID
+
+	// ring is a fixed-capacity FIFO over the shard: inList guarantees each
+	// owned vertex occupies at most one slot, so hi-lo slots suffice.
+	ring        []graph.VertexID
+	head, count int
+	inList      []bool
+	acc         []float64
+
+	inbox chan batch
+	// Remote-delta coalescing store: racc accumulates deltas headed to
+	// other shards (indexed by global vertex id), rqueued marks buffered
+	// vertices, and rdirty[dst] lists them per destination worker. Dense
+	// arrays instead of maps: on skewed graphs half the edges can cross
+	// shards, so the remote path must cost no more than a local push. The
+	// price is O(n) memory per worker, O(workers × n) total. Buffered
+	// entries count toward solver.outstanding from the moment they enter
+	// rdirty.
+	racc     []float64
+	rqueued  []bool
+	rdirty   [][]graph.VertexID
+	outCount int
+
+	activations, emitted               int64
+	sentDeltas, sentBatches, coalesced int64
+	rounds                             int64
+}
+
+// Solve runs alg to convergence in parallel, without cancellation.
+func Solve(g *graph.CSR, alg algorithms.Algorithm, cfg Config) *Result {
+	res, _ := SolveCtx(nil, g, alg, cfg)
+	return res
+}
+
+// SolveCtx runs alg to convergence across cfg.Workers shards. When ctx is
+// canceled the solve stops and returns an error wrapping sim.ErrCanceled. A
+// nil ctx disables cancellation and never fails.
+func SolveCtx(ctx context.Context, g *graph.CSR, alg algorithms.Algorithm, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	n := g.NumVertices()
+	if n == 0 {
+		return &Result{Values: []float64{}}, nil
+	}
+	part, err := partition.Split(g, cfg.Workers, cfg.RefinePasses)
+	if err != nil {
+		return nil, fmt.Errorf("psolve: %w", err)
+	}
+	w := part.NumSlices()
+
+	s := &solver{
+		g:     g,
+		alg:   alg,
+		cfg:   cfg,
+		ctx:   ctx,
+		part:  part,
+		state: make([]float64, n),
+		id:    alg.Identity(),
+		done:  make(chan struct{}),
+		stop:  make(chan struct{}),
+	}
+	for v := 0; v < n; v++ {
+		s.state[v] = alg.InitState(graph.VertexID(v))
+	}
+	s.workers = make([]*worker, w)
+	for i, sl := range part.Slices {
+		size := sl.NumVertices()
+		wk := &worker{
+			idx:    i,
+			lo:     sl.Lo,
+			hi:     sl.Hi,
+			ring:   make([]graph.VertexID, size),
+			inList: make([]bool, size),
+			acc:    make([]float64, size),
+			inbox:  make(chan batch, 4*w),
+		}
+		for j := range wk.acc {
+			wk.acc[j] = s.id
+		}
+		if w > 1 {
+			wk.racc = make([]float64, n)
+			wk.rqueued = make([]bool, n)
+			wk.rdirty = make([][]graph.VertexID, w)
+			for j := range wk.racc {
+				wk.racc[j] = s.id
+			}
+		}
+		s.workers[i] = wk
+	}
+
+	// Seed the shards single-threaded, before any worker starts.
+	for _, ev := range alg.InitialEvents(g) {
+		wk := s.workers[part.SliceOf(ev.Vertex)]
+		wk.pushLocal(s, ev.Vertex, ev.Delta)
+	}
+	if s.outstanding.Load() == 0 {
+		s.doneOnce.Do(func() { close(s.done) })
+	}
+
+	for _, wk := range s.workers {
+		s.wg.Add(1)
+		go wk.run(s)
+	}
+	s.wg.Wait()
+	if s.err != nil {
+		return nil, s.err
+	}
+
+	// Fold retained sub-threshold residuals into the converged state — the
+	// serial solver absorbs those fragments at activation time; here they
+	// were held back for coalescing (see processChunk) and land now.
+	for _, wk := range s.workers {
+		for off, a := range wk.acc {
+			if a != s.id {
+				v := wk.lo + graph.VertexID(off)
+				s.state[v] = alg.Reduce(s.state[v], a)
+			}
+		}
+	}
+
+	res := &Result{
+		Values:            s.state,
+		Workers:           w,
+		WorkerActivations: make([]int64, w),
+		CutEdges:          part.CutEdges,
+	}
+	for i, wk := range s.workers {
+		res.WorkerActivations[i] = wk.activations
+		res.Activations += wk.activations
+		res.Emitted += wk.emitted
+		res.CrossShardDeltas += wk.sentDeltas
+		res.CrossShardCoalesced += wk.coalesced
+		res.CrossShardBatches += wk.sentBatches
+		res.TerminationRounds += wk.rounds
+	}
+	return res, nil
+}
+
+// fail records the first error and stops the fleet.
+func (s *solver) fail(err error) {
+	s.failOnce.Do(func() {
+		s.err = err
+		close(s.stop)
+	})
+}
+
+// finish decrements the outstanding-work counter by n; the goroutine that
+// takes it to zero announces global quiescence. Every increment for work an
+// item caused happens before that item's own decrement, so zero is reachable
+// only when no work exists anywhere.
+func (s *solver) finish(n int64) {
+	if s.outstanding.Add(-n) == 0 {
+		s.doneOnce.Do(func() { close(s.done) })
+	}
+}
+
+// canceled reports whether the fleet is stopping, polling ctx.
+func (s *solver) canceled(w *worker) bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+	}
+	if s.ctx != nil {
+		select {
+		case <-s.ctx.Done():
+			s.fail(fmt.Errorf("%w after %d activations on worker %d: %v",
+				sim.ErrCanceled, w.activations, w.idx, s.ctx.Err()))
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// pushLocal coalesces a delta into an owned vertex and enqueues it if not
+// already queued. Called only by the owning worker (or single-threaded
+// seeding).
+func (w *worker) pushLocal(s *solver, v graph.VertexID, d float64) {
+	off := v - w.lo
+	w.acc[off] = s.alg.Reduce(w.acc[off], d)
+	if !w.inList[off] {
+		w.inList[off] = true
+		tail := w.head + w.count
+		if tail >= len(w.ring) {
+			tail -= len(w.ring)
+		}
+		w.ring[tail] = v
+		w.count++
+		s.outstanding.Add(1)
+	}
+}
+
+// bufferRemote coalesces a delta headed to another shard into the dense
+// remote accumulator and records the vertex on the destination's dirty list.
+func (w *worker) bufferRemote(s *solver, dst int, v graph.VertexID, d float64) {
+	if w.rqueued[v] {
+		w.racc[v] = s.alg.Reduce(w.racc[v], d)
+		w.coalesced++
+		return
+	}
+	w.rqueued[v] = true
+	w.racc[v] = d // slot holds the identity between flushes
+	w.rdirty[dst] = append(w.rdirty[dst], v)
+	w.outCount++
+	s.outstanding.Add(1)
+}
+
+// integrate merges a received batch into the local worklist. Each delivered
+// entry retires one unit of outstanding work (its increment happened at
+// buffer time on the sender); any new worklist entry it causes is counted
+// first by pushLocal.
+func (w *worker) integrate(s *solver, b batch) {
+	for _, e := range b {
+		w.pushLocal(s, e.v, e.d)
+		s.finish(1)
+	}
+}
+
+// send delivers a batch to dst, draining the worker's own inbox while
+// blocked so that two mutually-sending workers can never deadlock. Returns
+// false when the fleet is stopping.
+func (w *worker) send(s *solver, dst int, b batch) bool {
+	ch := s.workers[dst].inbox
+	for {
+		select {
+		case ch <- b:
+			return true
+		case in := <-w.inbox:
+			w.integrate(s, in)
+		case <-s.stop:
+			return false
+		}
+	}
+}
+
+// flushAll ships every non-empty dirty list to its owner, resetting the
+// flushed accumulator slots to the identity.
+func (w *worker) flushAll(s *solver) bool {
+	for dst := range w.rdirty {
+		dirty := w.rdirty[dst]
+		if len(dirty) == 0 {
+			continue
+		}
+		b := make(batch, 0, len(dirty))
+		for _, v := range dirty {
+			b = append(b, delta{v, w.racc[v]})
+			w.racc[v] = s.id
+			w.rqueued[v] = false
+		}
+		w.rdirty[dst] = dirty[:0]
+		w.outCount -= len(b)
+		w.sentDeltas += int64(len(b))
+		w.sentBatches++
+		if !w.send(s, dst, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// pop removes the next vertex from the ring worklist.
+func (w *worker) pop() graph.VertexID {
+	v := w.ring[w.head]
+	w.head++
+	if w.head == len(w.ring) {
+		w.head = 0
+	}
+	w.count--
+	return v
+}
+
+// processChunk pops and activates up to processChunk owned vertices,
+// propagating along out-edges: local destinations go straight back into the
+// ring, remote ones into the outbound coalescing maps. Returns false when
+// the fleet is stopping.
+func (w *worker) processChunk(s *solver) bool {
+	for i := 0; i < processChunk && w.count > 0; i++ {
+		if w.activations%ctxPollInterval == 0 && s.canceled(w) {
+			return false
+		}
+		v := w.pop()
+		off := v - w.lo
+		w.inList[off] = false
+		d := w.acc[off]
+		old := s.state[v]
+		next := s.alg.Reduce(old, d)
+		w.activations++
+		if !s.alg.Changed(old, next) {
+			// Retain the sub-threshold delta in the accumulator instead of
+			// absorbing it unpropagated: cross-shard batching fragments what
+			// the serial schedule would deliver as one delta, and dropping
+			// each fragment would lose more propagation mass than serial
+			// does. The residual coalesces with the next arriving delta (or
+			// folds into state at termination), keeping sum-based
+			// algorithms within the serial solver's tolerance band.
+			s.finish(1)
+			continue
+		}
+		s.state[v] = next
+		w.acc[off] = s.id
+		{
+			deg := s.g.OutDegree(v)
+			weights := s.g.NeighborWeights(v)
+			for j, dst := range s.g.Neighbors(v) {
+				wt := float32(1)
+				if weights != nil {
+					wt = weights[j]
+				}
+				out := s.alg.Propagate(d, algorithms.EdgeContext{
+					Src: v, Dst: dst, Weight: wt, SrcOutDegree: deg,
+				})
+				w.emitted++
+				if dst >= w.lo && dst < w.hi {
+					w.pushLocal(s, dst, out)
+				} else {
+					w.bufferRemote(s, s.part.SliceOf(dst), dst, out)
+				}
+			}
+		}
+		s.finish(1)
+		if w.outCount >= s.cfg.BatchSize {
+			if !w.flushAll(s) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// run is the worker main loop: drain inbox, process a chunk, flush on local
+// quiescence, then sleep until cross-shard work arrives or the fleet
+// terminates.
+func (w *worker) run(s *solver) {
+	defer s.wg.Done()
+	worked := false
+	for {
+		// Merge every delivered batch before the next chunk so remote
+		// deltas coalesce with queued local ones instead of re-activating.
+		for {
+			select {
+			case b := <-w.inbox:
+				w.integrate(s, b)
+				continue
+			default:
+			}
+			break
+		}
+		if w.count > 0 {
+			if !w.processChunk(s) {
+				return
+			}
+			worked = true
+			continue
+		}
+		// Local quiescence: everything buffered must reach its owner before
+		// this worker may idle, or the counter could never reach zero.
+		if !w.flushAll(s) {
+			return
+		}
+		if worked {
+			w.rounds++
+			worked = false
+		}
+		if w.count > 0 {
+			// send() integrated inbound batches while flushing.
+			continue
+		}
+		select {
+		case b := <-w.inbox:
+			w.integrate(s, b)
+		case <-s.done:
+			return
+		case <-s.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package psolve_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/conformance"
+	"graphpulse/internal/graph"
+	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/psolve"
+	"graphpulse/internal/sim"
+)
+
+// testShapes spans the regimes that stress the sharded solver differently:
+// power-law skew (imbalanced shards), a grid (boundary-heavy cuts), a chain
+// (worst-case sequential dependence across every shard boundary), and a
+// star (one hub shard feeding all others).
+func testShapes(t *testing.T) map[string]*graph.CSR {
+	t.Helper()
+	shapes := map[string]*graph.CSR{}
+	var err error
+	if shapes["rmat"], err = gen.RMAT(gen.RMATParams{
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05,
+		Scale: 8, EdgeFactor: 4, Weighted: true, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if shapes["grid"], err = gen.Grid2D(9, 7, true, 2); err != nil {
+		t.Fatal(err)
+	}
+	if shapes["chain"], err = gen.Chain(60, true); err != nil {
+		t.Fatal(err)
+	}
+	if shapes["star"], err = gen.Star(40); err != nil {
+		t.Fatal(err)
+	}
+	return shapes
+}
+
+// TestMatchesSerial checks the tentpole contract on a focused matrix: for
+// every shape × algorithm × worker count, the parallel solver's fixed point
+// agrees with the serial golden model within the repository tolerance
+// policy (exactly, for the monotone algorithms). The full shapes ×
+// algorithms conformance matrix runs in internal/conformance.
+func TestMatchesSerial(t *testing.T) {
+	algs := []string{"pagerank-delta", "sssp", "connected-components"}
+	for shapeName, g := range testShapes(t) {
+		for _, algName := range algs {
+			ac, err := conformance.AlgCaseByName(algName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pg := ac.Prepared(g)
+			root := conformance.BestRoot(pg)
+			want := algorithms.Solve(pg, ac.New(root))
+			tol := conformance.Tolerance(ac.New(root), pg)
+			for _, workers := range []int{1, 2, 3, 8} {
+				t.Run(fmt.Sprintf("%s/%s/w%d", shapeName, algName, workers), func(t *testing.T) {
+					res, err := psolve.SolveCtx(nil, pg, ac.New(root), psolve.Config{Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := fmt.Sprintf("psolve[w=%d] vs solve on %s/%s", workers, shapeName, algName)
+					if err := conformance.CompareValues(label, res.Values, want.Values, tol); err != nil {
+						t.Fatal(err)
+					}
+					checkCounters(t, res, workers)
+				})
+			}
+		}
+	}
+}
+
+// checkCounters asserts the Result counters are internally consistent.
+func checkCounters(t *testing.T, res *psolve.Result, requested int) {
+	t.Helper()
+	if res.Workers < 1 || res.Workers > requested {
+		t.Fatalf("Workers = %d, want 1..%d", res.Workers, requested)
+	}
+	if len(res.WorkerActivations) != res.Workers {
+		t.Fatalf("len(WorkerActivations) = %d, want %d", len(res.WorkerActivations), res.Workers)
+	}
+	var sum int64
+	for _, a := range res.WorkerActivations {
+		sum += a
+	}
+	if sum != res.Activations {
+		t.Fatalf("WorkerActivations sum %d != Activations %d", sum, res.Activations)
+	}
+	if res.Activations <= 0 {
+		t.Fatalf("Activations = %d, want > 0", res.Activations)
+	}
+	if res.Workers == 1 {
+		if res.CrossShardDeltas != 0 || res.CrossShardBatches != 0 || res.CutEdges != 0 {
+			t.Fatalf("single shard moved cross-shard work: deltas=%d batches=%d cut=%d",
+				res.CrossShardDeltas, res.CrossShardBatches, res.CutEdges)
+		}
+	}
+}
+
+// TestTinyBatches forces a flush after nearly every remote delta, stressing
+// the exchange and termination machinery far harder than the default batch
+// size would.
+func TestTinyBatches(t *testing.T) {
+	g, err := gen.Chain(60, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.Solve(g, algorithms.NewSSSP(0))
+	res, err := psolve.SolveCtx(nil, g, algorithms.NewSSSP(0), psolve.Config{Workers: 8, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conformance.CompareValues("psolve[batch=1] vs solve", res.Values, want.Values, 0); err != nil {
+		t.Fatal(err)
+	}
+	if res.CrossShardDeltas == 0 {
+		t.Fatal("chain across 8 shards exchanged no cross-shard deltas")
+	}
+}
+
+// TestDegenerateGraphs covers the shard-count edge cases.
+func TestDegenerateGraphs(t *testing.T) {
+	empty, err := graph.FromEdges(0, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := psolve.SolveCtx(nil, empty, algorithms.NewConnectedComponents(), psolve.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 0 || res.Activations != 0 {
+		t.Fatalf("empty graph: got %d values, %d activations", len(res.Values), res.Activations)
+	}
+
+	single, err := graph.FromEdges(1, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = psolve.SolveCtx(nil, single, algorithms.NewConnectedComponents(), psolve.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 1 {
+		t.Fatalf("single vertex: %d workers, want 1", res.Workers)
+	}
+	want := algorithms.Solve(single, algorithms.NewConnectedComponents())
+	if err := conformance.CompareValues("psolve single vertex", res.Values, want.Values, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// More workers than vertices: the shard count clamps to n.
+	tiny, err := gen.Chain(3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = psolve.SolveCtx(nil, tiny, algorithms.NewBFS(0), psolve.Config{Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers > 3 {
+		t.Fatalf("3-vertex graph ran %d workers", res.Workers)
+	}
+	want = algorithms.Solve(tiny, algorithms.NewBFS(0))
+	if err := conformance.CompareValues("psolve clamped workers", res.Values, want.Values, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCanceled verifies the cancellation contract: a canceled context stops
+// the fleet with an error wrapping sim.ErrCanceled, like every other engine.
+func TestCanceled(t *testing.T) {
+	g, err := gen.RMAT(gen.RMATParams{
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05,
+		Scale: 8, EdgeFactor: 4, Weighted: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = psolve.SolveCtx(ctx, g, algorithms.NewPageRankDelta(), psolve.Config{Workers: 4})
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("canceled solve returned %v, want sim.ErrCanceled", err)
+	}
+}
+
+// TestDeterministicForMonotone: the monotone algorithms have a unique fixed
+// point, so repeated parallel runs must agree bit-for-bit regardless of
+// scheduling.
+func TestDeterministicForMonotone(t *testing.T) {
+	g, err := gen.RMAT(gen.RMATParams{
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05,
+		Scale: 8, EdgeFactor: 4, Weighted: true, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := conformance.BestRoot(g)
+	first, err := psolve.SolveCtx(nil, g, algorithms.NewSSSP(root), psolve.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := psolve.SolveCtx(nil, g, algorithms.NewSSSP(root), psolve.Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conformance.CompareValues("psolve run-to-run", res.Values, first.Values, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

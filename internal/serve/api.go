@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"graphpulse/internal/algorithms"
+	"graphpulse/internal/engines"
 	"graphpulse/internal/graph"
 )
 
@@ -24,9 +25,11 @@ type QueryRequest struct {
 	// for pr, 0.8/1e-4 for ads).
 	Alpha     *float64 `json:"alpha,omitempty"`
 	Threshold *float64 `json:"threshold,omitempty"`
-	// Engine picks the execution backend: "solve" (native worklist
-	// solver, the default), "accel" (GraphPulse simulation), or
-	// "graphicionado" (BSP baseline simulation).
+	// Engine picks the execution backend by registry name (see
+	// internal/engines): "solve" (native worklist solver, the default),
+	// "psolve" (sharded parallel solver), "accel" (GraphPulse simulation),
+	// "graphicionado" (BSP baseline simulation), or "ligra" (shared-memory
+	// software baseline).
 	Engine string `json:"engine,omitempty"`
 	// TimeoutMS overrides the server's default per-request deadline,
 	// capped by Config.MaxTimeout.
@@ -203,14 +206,9 @@ func makeAlgorithm(req *QueryRequest) (algorithms.Algorithm, string, error) {
 	return nil, "", fmt.Errorf("unknown algorithm %q (want pr|ads|sssp|bfs|reach|cc|sswp|relpath)", req.Algorithm)
 }
 
-// normalizeEngine validates the engine choice, defaulting to the native
-// solver.
+// normalizeEngine validates the engine choice against the engine registry,
+// defaulting to the native solver. The 400-error vocabulary comes from the
+// registry, so it never goes stale against the engine set.
 func normalizeEngine(engine string) (string, error) {
-	switch engine {
-	case "", "solve":
-		return "solve", nil
-	case "accel", "graphicionado":
-		return engine, nil
-	}
-	return "", fmt.Errorf("unknown engine %q (want solve|accel|graphicionado)", engine)
+	return engines.Normalize(engine)
 }

@@ -12,8 +12,7 @@ import (
 	"time"
 
 	"graphpulse/internal/algorithms"
-	"graphpulse/internal/baseline/graphicionado"
-	"graphpulse/internal/core"
+	"graphpulse/internal/engines"
 	"graphpulse/internal/graph"
 	"graphpulse/internal/sim"
 )
@@ -272,40 +271,15 @@ func (s *Server) compute(ctx context.Context, rg *residentGraph, g *graph.CSR, e
 		}
 	}
 
-	var (
-		values      []float64
-		activations int64
-		err         error
-	)
-	switch engine {
-	case "solve":
-		var res *algorithms.SolveResult
-		res, err = algorithms.SolveCtx(ctx, g, runAlg)
-		if err == nil {
-			values, activations = res.Values, res.Activations
-		}
-	case "accel":
-		var a *core.Accelerator
-		a, err = core.New(core.OptimizedConfig(), g, runAlg)
-		if err == nil {
-			var res *core.Result
-			res, err = a.RunWithOptions(core.RunOptions{Ctx: ctx})
-			if err == nil {
-				values, activations = res.Values, res.EventsProcessed
-			}
-		}
-	case "graphicionado":
-		var res *graphicionado.Result
-		res, err = graphicionado.RunCtx(ctx, graphicionado.DefaultConfig(), g, runAlg)
-		if err == nil {
-			values, activations = res.Values, int64(res.EdgesTraversed)
-		}
-	default:
-		err = fmt.Errorf("serve: unknown engine %q", engine)
+	eng, err := engines.Lookup(engine)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
+	res, err := eng.SolveCtx(ctx, g, runAlg)
 	if err != nil {
 		return nil, err
 	}
+	values, activations := res.Values, res.Activations
 	elapsed := time.Since(start)
 	s.metrics.Observe("compute_latency_us", elapsed.Microseconds())
 	if mode == "warm" {

@@ -465,6 +465,40 @@ func TestSimulatedEngines(t *testing.T) {
 	}
 }
 
+// TestParallelAndLigraEngines serves the same query through the two
+// registry engines that became reachable with the engine-registry refactor —
+// the sharded parallel native solver and the Ligra-style baseline — and
+// checks both against the serial solver within the conformance tolerance.
+func TestParallelAndLigraEngines(t *testing.T) {
+	small, err := gen.ErdosRenyi(96, 512, true, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Graphs = []GraphSpec{{Name: "g", Graph: small}}
+		c.DefaultTimeout = 60 * time.Second
+	})
+	_ = s
+	alg := algorithms.NewPageRankDelta()
+	want := algorithms.Solve(small, alg)
+	tol := conformance.Tolerance(alg, small)
+	for _, engine := range []string{"psolve", "ligra"} {
+		resp := doQuery(t, ts.URL, QueryRequest{
+			Graph: "g", Algorithm: "pr", Engine: engine, Vertices: vertexRange(96),
+		})
+		if resp.Engine != engine {
+			t.Errorf("engine echo = %q, want %q", resp.Engine, engine)
+		}
+		if resp.Mode != "cold" {
+			t.Errorf("%s: mode = %q, want cold", engine, resp.Mode)
+		}
+		got := valuesOf(resp, 96)
+		if err := conformance.CompareValues("serve/"+engine, got, want.Values, tol); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
 // TestBadRequests pins the error surface: status codes and the counter.
 func TestBadRequests(t *testing.T) {
 	s, ts := newTestServer(t, nil)

@@ -18,6 +18,7 @@ import (
 	"graphpulse/internal/core"
 	"graphpulse/internal/graph/gen"
 	"graphpulse/internal/mem"
+	"graphpulse/internal/psolve"
 	"graphpulse/internal/serve"
 	"graphpulse/internal/sim/telemetry"
 )
@@ -90,6 +91,9 @@ func emittedNames() ([]string, error) {
 
 	// Serving-layer counters and latency histograms.
 	add(serve.MetricNames()...)
+
+	// Parallel native solver counters.
+	add(psolve.MetricNames()...)
 
 	// Stage-timer and unit-state keys surfaced through core.Result.
 	add(core.StageNames...)
