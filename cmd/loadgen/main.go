@@ -6,11 +6,14 @@
 //
 //	loadgen -url http://127.0.0.1:8080 -graph wg -alg pr -d 10s -c 8
 //	loadgen -url ... -graph wg -alg sssp -root 3 -qps 2000 -mutate-every 100
+//	loadgen -url ... -graph wg -mutate-every 40 -delete-every 80 -stream-every 200
 //	loadgen -url ... -graph wg -d 5s -csv out.csv -min-qps 1000   # CI gate
 //
 // With -qps the driver is open-loop (arrivals paced at the target rate);
 // without it, closed-loop (-c workers back-to-back). -min-qps exits
-// non-zero when the achieved query rate falls short — the CI smoke gate.
+// non-zero when the achieved query rate falls short, and -max-errors when
+// hard failures (non-2xx other than 429/504) exceed the cap — the CI
+// smoke gates.
 package main
 
 import (
@@ -35,10 +38,14 @@ func main() {
 		conc    = flag.Int("c", 8, "client concurrency")
 		dur     = flag.Duration("d", 5*time.Second, "load duration")
 		mutEv   = flag.Int("mutate-every", 0, "make every Nth request a mutation batch (0 = never)")
-		mutEdge = flag.Int("mutate-edges", 16, "edges per mutation batch")
+		mutEdge = flag.Int("mutate-edges", 16, "edges per mutation/deletion batch")
+		delEv   = flag.Int("delete-every", 0, "make every Nth request a deletion batch of previously inserted edges (0 = never)")
+		strEv   = flag.Int("stream-every", 0, "make every Nth request a bulk NDJSON /v1/stream post (0 = never)")
+		strOps  = flag.Int("stream-ops", 64, "ops per stream request")
 		seed    = flag.Int64("seed", 42, "mutation edge seed")
 		csvPath = flag.String("csv", "", "write the summary as CSV to this file (atomic)")
 		minQPS  = flag.Float64("min-qps", 0, "exit non-zero unless the achieved query rate reaches this")
+		maxErrs = flag.Int64("max-errors", -1, "exit non-zero when hard failures across all kinds exceed this (-1 = no gate)")
 	)
 	flag.Parse()
 	if *graph == "" {
@@ -57,6 +64,9 @@ func main() {
 		Duration:    *dur,
 		MutateEvery: *mutEv,
 		MutateEdges: *mutEdge,
+		DeleteEvery: *delEv,
+		StreamEvery: *strEv,
+		StreamOps:   *strOps,
 		Seed:        *seed,
 	})
 	if err != nil {
@@ -75,6 +85,12 @@ func main() {
 	if *minQPS > 0 {
 		if got := summary.AchievedQPS("query"); got < *minQPS {
 			fmt.Fprintf(os.Stderr, "loadgen: achieved %.1f query qps, need ≥ %.1f\n", got, *minQPS)
+			os.Exit(1)
+		}
+	}
+	if *maxErrs >= 0 {
+		if got := summary.TotalErrors(); got > *maxErrs {
+			fmt.Fprintf(os.Stderr, "loadgen: %d hard failures, allowed ≤ %d\n", got, *maxErrs)
 			os.Exit(1)
 		}
 	}

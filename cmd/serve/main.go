@@ -8,10 +8,12 @@
 //	serve -addr :8080 -graph wg=WG:tiny                 # Table IV stand-in
 //	serve -graph web=crawl.el -graph social=fb.bin      # graph files
 //	serve -graph wg=WG:mini -workers 8 -queue 128
+//	serve -graph wg=WG:tiny -window 5m                  # sliding-window mode
 //
-// Endpoints: POST /v1/query, POST /v1/mutate, GET /v1/graphs,
-// GET /metrics, GET /healthz, /debug/pprof. SIGINT/SIGTERM drain
-// in-flight requests (bounded by -drain) before exit.
+// Endpoints: POST /v1/query, POST /v1/mutate, POST /v1/stream,
+// GET /v1/graphs, GET /metrics, GET /healthz, /debug/pprof.
+// SIGINT/SIGTERM drain in-flight requests (bounded by -drain) before
+// exit.
 package main
 
 import (
@@ -37,6 +39,11 @@ func main() {
 		maxTO   = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
 		compTO  = flag.Duration("compute-timeout", 120*time.Second, "bound on one pooled computation")
 		history = flag.Int("history", 8, "mutation batches retained per graph for warm starts")
+		window  = flag.Duration("window", 0, "sliding-window age applied to every -graph (0 = unbounded)")
+		tick    = flag.Duration("window-tick", time.Second, "period of the window expiry ticker")
+		coneMax = flag.Float64("cone-fraction", 0, "deletion-cone size cap as a fraction of vertices before falling back to a full replay (0 = default)")
+		sbatch  = flag.Int("stream-batch", 256, "ops per applied /v1/stream batch")
+		sflight = flag.Int("stream-inflight", 2, "concurrent /v1/stream requests before 429")
 		drain   = flag.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight requests")
 		doPprof = flag.Bool("pprof", true, "mount /debug/pprof")
 	)
@@ -55,6 +62,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve: at least one -graph name=SOURCE is required (e.g. -graph wg=WG:tiny)")
 		os.Exit(2)
 	}
+	if *window > 0 {
+		for i := range specs {
+			specs[i].Window = *window
+		}
+	}
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	srv, err := serve.New(serve.Config{
 		Graphs:          specs,
@@ -65,6 +77,10 @@ func main() {
 		MaxTimeout:      *maxTO,
 		ComputeTimeout:  *compTO,
 		MutationHistory: *history,
+		MaxConeFraction: *coneMax,
+		WindowTick:      *tick,
+		StreamBatch:     *sbatch,
+		StreamInflight:  *sflight,
 		EnablePprof:     *doPprof,
 		Logf:            logger.Printf,
 	})

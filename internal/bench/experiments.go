@@ -56,6 +56,7 @@ func Experiments() []Experiment {
 		{ID: "timeline", Title: "Time-resolved telemetry (queue occupancy, event rate, DRAM bandwidth)", Run: runTimeline},
 		{ID: "scaling", Title: "Parallel native solver speedup vs worker count", Run: runScaling},
 		{ID: "faults", Title: "Fault-injection survival matrix (detection, tolerance, silent corruption)", Run: runFaults},
+		{ID: "churn", Title: "Streaming churn: warm vs cold re-convergence under deletions and expiry", Run: runChurn},
 	}
 }
 

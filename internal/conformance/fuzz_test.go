@@ -2,9 +2,13 @@ package conformance
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
+	"time"
 
+	"graphpulse/internal/algorithms"
 	"graphpulse/internal/graph"
+	"graphpulse/internal/stream"
 )
 
 // The fuzz targets decode arbitrary byte strings into small (graph,
@@ -113,6 +117,100 @@ func FuzzGraphIORoundTrip(f *testing.F) {
 		if !g.Equal(fromBin) {
 			t.Fatalf("binary round-trip altered the graph (n=%d m=%d weighted=%v)",
 				g.NumVertices(), g.NumEdges(), g.Weighted())
+		}
+	})
+}
+
+// FuzzMutateSequence decodes a small base graph plus a stream of mutation
+// ops, replays them through stream.Replayer (the serving tier's warm-path
+// selection), and requires the warm state to match a cold solve after
+// EVERY epoch — and the whole sequence never to panic.
+//
+// Byte layout:
+//
+//	data[0]  vertex count selector (n = 2 + data[0]%14)
+//	data[1]  algorithm selector (non-incremental algorithms are skipped)
+//	data[2]  root selector (root = data[2]%n)
+//	data[3]  bit 0: weighted
+//	data[4]  base edge count selector (k = data[4]%16 triples)
+//	data[5:5+3k] base edge triples (src%n, dst%n, weight byte)
+//	rest     op quads (kind, a, b, c), capped at 12 ops:
+//	           kind%4 ∈ {0,1} → insert edge (a%n, b%n, weight (c%100+1)/100)
+//	           kind%4 == 2    → delete pair (a%n, b%n)
+//	           kind%4 == 3    → expire with horizon (c%20+1) seconds
+//
+// Each op is applied as its own epoch at logical time Unix(opIndex+1, 0).
+func FuzzMutateSequence(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			t.Skip()
+		}
+		n := 2 + int(data[0]%14)
+		algs := Algorithms()
+		c := algs[int(data[1])%len(algs)]
+		if !c.Incremental {
+			// Adsorption's convergence contract assumes inbound-normalized
+			// weights, which arbitrary mutations do not preserve.
+			t.Skip()
+		}
+		root := graph.VertexID(int(data[2]) % n)
+		weighted := data[3]&1 == 1
+		k := int(data[4] % 16)
+		payload := data[5:]
+		var edges []graph.Edge
+		for i := 0; i+2 < len(payload) && len(edges) < k; i += 3 {
+			edges = append(edges, graph.Edge{
+				Src:    graph.VertexID(int(payload[i]) % n),
+				Dst:    graph.VertexID(int(payload[i+1]) % n),
+				Weight: float32(int(payload[i+2])%100+1) / 100,
+			})
+		}
+		if len(edges) == 0 {
+			weighted = false
+		}
+		ops := payload[3*len(edges):]
+		base, err := graph.FromEdges(n, edges, weighted)
+		if err != nil {
+			t.Skip()
+		}
+
+		mk := c.Maker(root)
+		tol := 2 * Tolerance(mk(), base)
+		solve := func(g *graph.CSR, alg algorithms.Algorithm) ([]float64, error) {
+			return algorithms.Solve(g, alg).Values, nil
+		}
+		r := stream.NewReplayer(base, mk, solve, stream.DefaultMaxConeFraction)
+		for i := 0; i+3 < len(ops) && i/4 < 12; i += 4 {
+			kind, a, b, w := ops[i], ops[i+1], ops[i+2], ops[i+3]
+			at := time.Unix(int64(i/4)+1, 0)
+			switch kind % 4 {
+			case 0, 1:
+				err = r.Apply([]graph.Edge{{
+					Src:    graph.VertexID(int(a) % n),
+					Dst:    graph.VertexID(int(b) % n),
+					Weight: float32(int(w)%100+1) / 100,
+				}}, nil, at)
+			case 2:
+				err = r.Apply(nil, []graph.Edge{{
+					Src: graph.VertexID(int(a) % n),
+					Dst: graph.VertexID(int(b) % n),
+				}}, at)
+			case 3:
+				_, err = r.Expire(at, time.Duration(int(w)%20+1)*time.Second)
+			}
+			if err != nil {
+				t.Fatalf("op %d (kind %d): %v", i/4, kind%4, err)
+			}
+			got, err := r.State()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := algorithms.Solve(r.Graph(), mk()).Values
+			if err := CompareValues(
+				fmt.Sprintf("mutate-sequence %s op %d (mode %s)", c.Name, i/4, r.LastMode),
+				got, want, tol); err != nil {
+				t.Fatal(err)
+			}
 		}
 	})
 }

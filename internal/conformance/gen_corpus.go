@@ -114,6 +114,55 @@ func main() {
 		seed(12, 7, 2, 1, densePayload(14, 40)...),
 	}
 
+	// Mutation sequences: FuzzMutateSequence's layout prepends a base-edge
+	// count selector, then reads op quads (kind, a, b, c). The seeds cover
+	// every incremental algorithm selector with interleaved inserts,
+	// deletes (of inserted and of base edges), and window expirations.
+	mutSeed := func(nSel, alg, root, weighted, kSel byte, rest ...byte) []byte {
+		return append([]byte{nSel, alg, root, weighted, kSel}, rest...)
+	}
+	ops := func(quads ...byte) []byte { return quads }
+	chain10 := chainPayload(10) // 9 triples on a 10-vertex chain (nSel 8)
+	corpora["FuzzMutateSequence"] = [][]byte{
+		// PageRank on a chain: insert a shortcut, delete it, expire the rest.
+		mutSeed(8, 0, 0, 1, 9, append(chain10, ops(
+			0, 0, 7, 40, // insert 0->7
+			0, 7, 2, 30, // insert 7->2 (cycle)
+			2, 0, 7, 0, // delete 0->7
+			3, 0, 0, 5, // expire, 6s horizon
+		)...)...),
+		// SSSP: delete base chain edges so the cone re-routes, then rebuild.
+		mutSeed(8, 2, 0, 1, 9, append(chain10, ops(
+			2, 4, 5, 0, // delete base 4->5 (downstream unreachable)
+			0, 4, 5, 90, // re-insert it, heavier
+			0, 0, 9, 10, // cheap shortcut to the tail
+			2, 0, 9, 0, // and take it away again
+		)...)...),
+		// BFS on a star: hub edge churn.
+		mutSeed(8, 3, 0, 1, 9, append(starPayload(10), ops(
+			2, 0, 3, 0,
+			0, 1, 3, 20,
+			3, 0, 0, 2,
+		)...)...),
+		// Connected components: merge and split label floods.
+		mutSeed(10, 5, 0, 0, 6, append(densePayload(12, 6), ops(
+			0, 11, 0, 50,
+			2, 11, 0, 0,
+			0, 1, 11, 50,
+			3, 0, 0, 1,
+		)...)...),
+		// Reach: delete the only bridge (the fabricated-reachability trap).
+		mutSeed(4, 4, 0, 0, 2, 0, 1, 10, 1, 2, 10, // 0->1->2
+			2, 0, 1, 0, // delete the bridge
+			0, 0, 1, 10, // restore it
+			3, 0, 0, 1), // expire the restored copy
+		// Empty base, insert-only growth.
+		mutSeed(6, 2, 0, 1, 0,
+			0, 0, 1, 30,
+			0, 1, 2, 30,
+			0, 2, 3, 30),
+	}
+
 	for target, seeds := range corpora {
 		dir := filepath.Join("testdata", "fuzz", target)
 		if err := os.MkdirAll(dir, 0o755); err != nil {

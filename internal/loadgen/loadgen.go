@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	neturl "net/url"
 	"sort"
 	"strconv"
 	"sync"
@@ -45,6 +46,16 @@ type Config struct {
 	MutateEvery int
 	// MutateEdges is the batch size of each mutation (default 16).
 	MutateEdges int
+	// DeleteEvery makes every Nth request a deletion batch drawing from
+	// the edges this run previously inserted (0 = never). Takes precedence
+	// over MutateEvery on sequence numbers both match.
+	DeleteEvery int
+	// StreamEvery makes every Nth request a bulk NDJSON /v1/stream post of
+	// StreamOps mixed insert/delete ops (0 = never). Takes precedence over
+	// DeleteEvery and MutateEvery.
+	StreamEvery int
+	// StreamOps is the op count of each stream request (default 64).
+	StreamOps int
 	// Seed makes mutation edge choice deterministic.
 	Seed int64
 	// Client overrides the HTTP client (default: 10s timeout).
@@ -61,6 +72,9 @@ func (c Config) withDefaults() Config {
 	if c.MutateEdges <= 0 {
 		c.MutateEdges = 16
 	}
+	if c.StreamOps <= 0 {
+		c.StreamOps = 64
+	}
 	if c.Algorithm == "" {
 		c.Algorithm = "pr"
 	}
@@ -75,6 +89,8 @@ type Stats struct {
 	Elapsed time.Duration
 	Query   KindStats
 	Mutate  KindStats
+	Delete  KindStats
+	Stream  KindStats
 	// CacheHits counts queries answered from the server's result cache.
 	CacheHits int64
 	// Dropped counts open-loop arrivals discarded because every worker
@@ -167,9 +183,14 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 					return
 				}
 				seq := nextSeq()
-				if cfg.MutateEvery > 0 && seq%int64(cfg.MutateEvery) == 0 {
+				switch {
+				case cfg.StreamEvery > 0 && seq%int64(cfg.StreamEvery) == 0:
+					doStream(cfg, info, rng, ws)
+				case cfg.DeleteEvery > 0 && seq%int64(cfg.DeleteEvery) == 0:
+					doDelete(cfg, info, rng, ws)
+				case cfg.MutateEvery > 0 && seq%int64(cfg.MutateEvery) == 0:
 					doMutate(cfg, info, rng, ws)
-				} else {
+				default:
 					doQuery(cfg, ws)
 				}
 			}
@@ -180,15 +201,52 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 	for i := range workers {
 		st.Query.merge(&workers[i].query)
 		st.Mutate.merge(&workers[i].mutate)
+		st.Delete.merge(&workers[i].del)
+		st.Stream.merge(&workers[i].stream)
 		st.CacheHits += workers[i].cacheHits
 	}
 	return st, nil
 }
 
+// ringCap bounds each worker's memory of its own inserted edges, the
+// pool delete traffic draws from.
+const ringCap = 1024
+
 type workerStats struct {
 	query     KindStats
 	mutate    KindStats
+	del       KindStats
+	stream    KindStats
 	cacheHits int64
+	// inserted is a bounded ring of edges this worker has inserted and not
+	// yet targeted for deletion, so deletes mostly hit live edges.
+	inserted []serve.EdgeJSON
+}
+
+// remember pushes freshly inserted edges into the ring, evicting the
+// oldest past ringCap.
+func (ws *workerStats) remember(edges ...serve.EdgeJSON) {
+	ws.inserted = append(ws.inserted, edges...)
+	if len(ws.inserted) > ringCap {
+		ws.inserted = ws.inserted[len(ws.inserted)-ringCap:]
+	}
+}
+
+// takeInserted pops up to n remembered edges (oldest first); when the
+// ring is dry it synthesizes random pairs, which the server legitimately
+// reports as missed deletes.
+func (ws *workerStats) takeInserted(n, numVertices int, rng *rand.Rand) []serve.EdgeJSON {
+	if n > len(ws.inserted) {
+		n = len(ws.inserted)
+	}
+	out := append([]serve.EdgeJSON(nil), ws.inserted[:n]...)
+	ws.inserted = ws.inserted[n:]
+	for len(out) == 0 {
+		out = append(out, serve.EdgeJSON{
+			Src: uint32(rng.Intn(numVertices)), Dst: uint32(rng.Intn(numVertices)),
+		})
+	}
+	return out
 }
 
 func (k *KindStats) merge(o *KindStats) {
@@ -283,6 +341,54 @@ func doMutate(cfg Config, info serve.GraphInfo, rng *rand.Rand, ws *workerStats)
 	code, _, err := post(cfg, "/v1/mutate", serve.MutateRequest{Graph: cfg.Graph, Edges: edges})
 	us := time.Since(t0).Microseconds()
 	ws.mutate.record(code, us, err)
+	if err == nil && code == http.StatusOK {
+		ws.remember(edges...)
+	}
+}
+
+func doDelete(cfg Config, info serve.GraphInfo, rng *rand.Rand, ws *workerStats) {
+	dels := ws.takeInserted(cfg.MutateEdges, info.NumVertices, rng)
+	t0 := time.Now()
+	code, _, err := post(cfg, "/v1/mutate", serve.MutateRequest{Graph: cfg.Graph, Deletes: dels})
+	us := time.Since(t0).Microseconds()
+	ws.del.record(code, us, err)
+}
+
+// doStream posts one NDJSON bulk-ingestion request: ~3/4 inserts, ~1/4
+// deletes of edges this worker streamed or mutated in earlier requests.
+func doStream(cfg Config, info serve.GraphInfo, rng *rand.Rand, ws *workerStats) {
+	n := info.NumVertices
+	var body bytes.Buffer
+	var fresh []serve.EdgeJSON
+	for i := 0; i < cfg.StreamOps; i++ {
+		if rng.Intn(4) == 0 && len(ws.inserted) > 0 {
+			d := ws.takeInserted(1, n, rng)[0]
+			fmt.Fprintf(&body, `{"op":"delete","src":%d,"dst":%d}`+"\n", d.Src, d.Dst)
+			continue
+		}
+		e := serve.EdgeJSON{
+			Src:    uint32(rng.Intn(n)),
+			Dst:    uint32(rng.Intn(n)),
+			Weight: float32(rng.Float64()*0.9 + 0.1),
+		}
+		fmt.Fprintf(&body, `{"src":%d,"dst":%d,"weight":%g}`+"\n", e.Src, e.Dst, e.Weight)
+		fresh = append(fresh, e)
+	}
+	t0 := time.Now()
+	resp, err := cfg.Client.Post(
+		cfg.BaseURL+"/v1/stream?graph="+neturl.QueryEscape(cfg.Graph),
+		"application/x-ndjson", &body)
+	us := time.Since(t0).Microseconds()
+	code := 0
+	if err == nil {
+		code = resp.StatusCode
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}
+	ws.stream.record(code, us, err)
+	if err == nil && code == http.StatusOK {
+		ws.remember(fresh...)
+	}
 }
 
 // Summary is the deterministic report of one run: one row per request
@@ -344,11 +450,13 @@ func (st *Stats) Summarize() Summary {
 	}
 	addRow("query", &st.Query, st.CacheHits)
 	addRow("mutate", &st.Mutate, 0)
+	addRow("delete", &st.Delete, 0)
+	addRow("stream", &st.Stream, 0)
 	return s
 }
 
 // AchievedQPS returns the completed-request rate of one kind ("query",
-// "mutate"), or 0 if the kind saw no traffic.
+// "mutate", "delete", "stream"), or 0 if the kind saw no traffic.
 func (s Summary) AchievedQPS(kind string) float64 {
 	for _, r := range s.Rows {
 		if r.Kind == kind {
@@ -356,6 +464,17 @@ func (s Summary) AchievedQPS(kind string) float64 {
 		}
 	}
 	return 0
+}
+
+// TotalErrors sums hard failures (transport errors and unexpected status
+// codes; 429 rejections and 504 deadlines are counted separately) across
+// every request kind — the CI smoke gate's no-5xx assertion.
+func (s Summary) TotalErrors() int64 {
+	var n int64
+	for _, r := range s.Rows {
+		n += r.Errors
+	}
+	return n
 }
 
 // Percentile returns the nearest-rank percentile of ascending-sorted

@@ -100,8 +100,9 @@ type QueryResponse struct {
 	Engine    string `json:"engine"`
 	// Cached reports whether the answer came straight from the result
 	// cache. Mode says how the values were produced: "cache", "cold"
-	// (from-scratch solve), or "warm" (warm-started from a prior epoch's
-	// fixed point after mutations).
+	// (from-scratch solve), "warm" (warm-started from a prior epoch's
+	// fixed point after insert-only mutations), or "cone" (selective
+	// re-initialization of the deletion dependency cone).
 	Cached bool   `json:"cached"`
 	Mode   string `json:"mode"`
 	// Coalesced reports that this request joined an identical in-flight
@@ -123,30 +124,67 @@ type EdgeJSON struct {
 	Weight float32 `json:"weight,omitempty"`
 }
 
-// MutateRequest is the /v1/mutate body: a batch of edges to insert into a
-// resident graph. The vertex set is fixed; edges referencing vertices
-// beyond it are rejected whole-batch.
+// MutateRequest is the /v1/mutate body: a batch of edges to insert into
+// and/or delete from a resident graph, applied as one epoch (inserts
+// first, then deletes — so a batch inserting and deleting the same edge
+// nets to a delete). Insertions are deduplicated within the batch; each
+// delete removes every live edge with the same (src, dst), weight
+// ignored. The vertex set is fixed; edges referencing vertices beyond it
+// are rejected whole-batch.
 type MutateRequest struct {
-	Graph string     `json:"graph"`
-	Edges []EdgeJSON `json:"edges"`
+	Graph   string     `json:"graph"`
+	Edges   []EdgeJSON `json:"edges,omitempty"`
+	Deletes []EdgeJSON `json:"deletes,omitempty"`
 }
 
-// MutateResponse reports the post-mutation graph version.
+// MutateResponse reports the post-mutation graph version and the
+// per-edge accounting: Added edges inserted (after in-batch
+// deduplication), Skipped duplicates dropped, Deleted live edges
+// removed, and Missed delete ops that matched nothing.
 type MutateResponse struct {
 	Graph       string `json:"graph"`
 	Epoch       uint64 `json:"epoch"`
 	Added       int    `json:"added"`
+	Skipped     int    `json:"skipped"`
+	Deleted     int    `json:"deleted"`
+	Missed      int    `json:"missed"`
 	NumVertices int    `json:"num_vertices"`
 	NumEdges    int    `json:"num_edges"`
 }
 
-// GraphInfo is one /v1/graphs inventory row.
+// StreamOp is one NDJSON line of a /v1/stream body: an insert (the
+// default when op is empty) or delete of a single edge.
+type StreamOp struct {
+	Op     string  `json:"op,omitempty"`
+	Src    uint32  `json:"src"`
+	Dst    uint32  `json:"dst"`
+	Weight float32 `json:"weight,omitempty"`
+}
+
+// StreamResponse summarizes one bulk-ingestion request: how many ops were
+// read, how many mutation epochs (batches) they were applied as, and the
+// aggregated per-edge accounting (same meaning as MutateResponse).
+type StreamResponse struct {
+	Graph    string `json:"graph"`
+	Epoch    uint64 `json:"epoch"`
+	Ops      int    `json:"ops"`
+	Batches  int    `json:"batches"`
+	Added    int    `json:"added"`
+	Skipped  int    `json:"skipped"`
+	Deleted  int    `json:"deleted"`
+	Missed   int    `json:"missed"`
+	NumEdges int    `json:"num_edges"`
+}
+
+// GraphInfo is one /v1/graphs inventory row. WindowSecs is non-zero for
+// sliding-window graphs (GraphSpec.Window).
 type GraphInfo struct {
-	Name        string `json:"name"`
-	Epoch       uint64 `json:"epoch"`
-	NumVertices int    `json:"num_vertices"`
-	NumEdges    int    `json:"num_edges"`
-	Weighted    bool   `json:"weighted"`
+	Name        string  `json:"name"`
+	Epoch       uint64  `json:"epoch"`
+	NumVertices int     `json:"num_vertices"`
+	NumEdges    int     `json:"num_edges"`
+	Weighted    bool    `json:"weighted"`
+	WindowSecs  float64 `json:"window_secs,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

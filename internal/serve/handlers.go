@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -15,13 +17,18 @@ import (
 	"graphpulse/internal/engines"
 	"graphpulse/internal/graph"
 	"graphpulse/internal/sim"
+	"graphpulse/internal/stream"
 )
 
-// Body limits: queries are small; mutation batches carry edge lists.
+// Body limits: queries are small; mutation batches carry edge lists;
+// stream bodies are read chunked but still bounded.
 const (
-	maxQueryBody  = 1 << 20  // 1 MiB
-	maxMutateBody = 64 << 20 // 64 MiB
-	maxTopN       = 1000
+	maxQueryBody   = 1 << 20   // 1 MiB
+	maxMutateBody  = 64 << 20  // 64 MiB
+	maxStreamBody  = 256 << 20 // 256 MiB per request, read incrementally
+	maxStreamLine  = 1 << 12   // one NDJSON op
+	maxTopN        = 1000
+	streamRetrySec = "1"
 )
 
 // Handler returns the server's HTTP routing table. Mount it anywhere; the
@@ -30,6 +37,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/mutate", s.handleMutate)
+	mux.HandleFunc("POST /v1/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -92,29 +100,145 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown graph %q", req.Graph)
 		return
 	}
-	if len(req.Edges) == 0 {
+	if len(req.Edges) == 0 && len(req.Deletes) == 0 {
 		s.metrics.Add("mutate_errors", 1)
 		writeError(w, http.StatusBadRequest, "empty edge batch")
 		return
 	}
-	added := make([]graph.Edge, len(req.Edges))
-	for i, e := range req.Edges {
-		added[i] = graph.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight}
-	}
-	epoch, ng, err := rg.applyInsert(added)
+	out, err := rg.applyBatch(edgesFromJSON(req.Edges), edgesFromJSON(req.Deletes), s.now())
 	if err != nil {
 		s.metrics.Add("mutate_errors", 1)
 		writeError(w, http.StatusBadRequest, "mutate rejected: %v", err)
 		return
 	}
-	s.metrics.Add("mutate_edges_added", int64(len(added)))
+	s.recordMutateOutcome(out)
 	writeJSON(w, http.StatusOK, MutateResponse{
 		Graph:       req.Graph,
-		Epoch:       epoch,
-		Added:       len(added),
-		NumVertices: ng.NumVertices(),
-		NumEdges:    ng.NumEdges(),
+		Epoch:       out.epoch,
+		Added:       out.applied,
+		Skipped:     out.skipped,
+		Deleted:     out.deleted,
+		Missed:      out.missed,
+		NumVertices: out.g.NumVertices(),
+		NumEdges:    out.g.NumEdges(),
 	})
+}
+
+func edgesFromJSON(in []EdgeJSON) []graph.Edge {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]graph.Edge, len(in))
+	for i, e := range in {
+		out[i] = graph.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight}
+	}
+	return out
+}
+
+func (s *Server) recordMutateOutcome(out mutateOutcome) {
+	s.metrics.Add("mutate_edges_added", int64(out.applied))
+	s.metrics.Add("mutate_dedup_skipped", int64(out.skipped))
+	s.metrics.Add("mutate_delete_edges", int64(out.deleted))
+	s.metrics.Add("mutate_delete_missed", int64(out.missed))
+}
+
+// handleStream is the bulk-ingestion endpoint: a chunked NDJSON stream of
+// insert/delete ops (StreamOp per line), grouped into bounded batches of
+// Config.StreamBatch ops, each applied as one mutation epoch before the
+// next chunk is read — so in-flight memory stays bounded regardless of
+// body size, and TCP flow control paces a fast producer. Concurrent
+// streams beyond Config.StreamInflight are rejected with 429 +
+// Retry-After, the same admission-control contract as the compute queue.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.Add("stream_requests", 1)
+	defer func() {
+		s.metrics.Observe("stream_latency_us", time.Since(start).Microseconds())
+	}()
+	rg, ok := s.graphs[r.URL.Query().Get("graph")]
+	if !ok {
+		s.metrics.Add("stream_errors", 1)
+		writeError(w, http.StatusNotFound, "unknown graph %q (pass ?graph=name)", r.URL.Query().Get("graph"))
+		return
+	}
+	select {
+	case s.streamSem <- struct{}{}:
+		defer func() { <-s.streamSem }()
+	default:
+		s.metrics.Add("stream_rejected", 1)
+		w.Header().Set("Retry-After", streamRetrySec)
+		writeError(w, http.StatusTooManyRequests, "too many concurrent streams, retry later")
+		return
+	}
+
+	resp := StreamResponse{Graph: rg.name}
+	var ins, dels []graph.Edge
+	flush := func() error {
+		if len(ins) == 0 && len(dels) == 0 {
+			return nil
+		}
+		out, err := rg.applyBatch(ins, dels, s.now())
+		if err != nil {
+			return err
+		}
+		s.recordMutateOutcome(out)
+		s.metrics.Add("stream_batches", 1)
+		resp.Batches++
+		resp.Added += out.applied
+		resp.Skipped += out.skipped
+		resp.Deleted += out.deleted
+		resp.Missed += out.missed
+		ins, dels = ins[:0], dels[:0]
+		return nil
+	}
+
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxStreamBody))
+	sc.Buffer(make([]byte, 0, 4096), maxStreamLine)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var op StreamOp
+		if err := json.Unmarshal(line, &op); err != nil {
+			s.metrics.Add("stream_errors", 1)
+			writeError(w, http.StatusBadRequest, "bad stream op %q: %v", line, err)
+			return
+		}
+		e := graph.Edge{Src: op.Src, Dst: op.Dst, Weight: op.Weight}
+		switch op.Op {
+		case "", "insert":
+			ins = append(ins, e)
+		case "delete":
+			dels = append(dels, e)
+		default:
+			s.metrics.Add("stream_errors", 1)
+			writeError(w, http.StatusBadRequest, "unknown stream op %q (want insert|delete)", op.Op)
+			return
+		}
+		resp.Ops++
+		s.metrics.Add("stream_ops", 1)
+		if len(ins)+len(dels) >= s.cfg.StreamBatch {
+			if err := flush(); err != nil {
+				s.metrics.Add("stream_errors", 1)
+				writeError(w, http.StatusBadRequest, "stream batch rejected: %v", err)
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		s.metrics.Add("stream_errors", 1)
+		writeError(w, http.StatusBadRequest, "stream read: %v", err)
+		return
+	}
+	if err := flush(); err != nil {
+		s.metrics.Add("stream_errors", 1)
+		writeError(w, http.StatusBadRequest, "stream batch rejected: %v", err)
+		return
+	}
+	g, epoch := rg.snapshot()
+	resp.Epoch, resp.NumEdges = epoch, g.NumEdges()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -252,7 +376,10 @@ func (s *Server) joinOrLead(series string, epoch uint64, rg *residentGraph, g *g
 
 // compute runs one query computation: pick a warm start if a prior
 // epoch's fixed point is cached and the mutation history still covers the
-// gap, then execute on the chosen engine under ctx.
+// gap — correction seeding for insert-only gaps ("warm"), dependency-cone
+// re-initialization when deletions are involved ("cone", degrading to a
+// cold replay past Config.MaxConeFraction) — then execute on the chosen
+// engine under ctx.
 func (s *Server) compute(ctx context.Context, rg *residentGraph, g *graph.CSR, epoch uint64, alg algorithms.Algorithm, series, engine string) (*cachedResult, error) {
 	if s.testComputeStall != nil {
 		s.testComputeStall(ctx)
@@ -261,12 +388,21 @@ func (s *Server) compute(ctx context.Context, rg *residentGraph, g *graph.CSR, e
 	mode := "cold"
 	runAlg := alg
 	if prior, priorEpoch, ok := s.cache.latestBefore(series, epoch); ok {
-		if seeder, ok := alg.(algorithms.InsertionSeeder); ok {
-			if base, added, ok := rg.warmPath(priorEpoch, epoch); ok {
-				state := append([]float64(nil), prior.Values...)
-				seeds := seeder.SeedInsertions(base, added, state)
-				runAlg = algorithms.WarmStart(alg, state, seeds)
-				mode = "warm"
+		if base, added, removed, ok := rg.warmPath(priorEpoch, epoch); ok {
+			if len(removed) == 0 {
+				if seeder, ok := alg.(algorithms.InsertionSeeder); ok {
+					state := append([]float64(nil), prior.Values...)
+					seeds := seeder.SeedInsertions(base, added, state)
+					runAlg = algorithms.WarmStart(alg, state, seeds)
+					mode = "warm"
+				}
+			} else if plan, err := stream.PlanRestart(alg, g, added, removed, prior.Values, s.cfg.MaxConeFraction); err == nil {
+				if plan.Replay {
+					s.metrics.Add("stream_replay_fallbacks", 1)
+				} else {
+					runAlg = algorithms.WarmStart(alg, plan.State, plan.Seeds)
+					mode = "cone"
+				}
 			}
 		}
 	}
@@ -282,9 +418,12 @@ func (s *Server) compute(ctx context.Context, rg *residentGraph, g *graph.CSR, e
 	values, activations := res.Values, res.Activations
 	elapsed := time.Since(start)
 	s.metrics.Observe("compute_latency_us", elapsed.Microseconds())
-	if mode == "warm" {
+	switch mode {
+	case "warm":
 		s.metrics.Add("query_warm_starts", 1)
-	} else {
+	case "cone":
+		s.metrics.Add("stream_cone_starts", 1)
+	default:
 		s.metrics.Add("query_cold_solves", 1)
 	}
 	return &cachedResult{

@@ -23,13 +23,26 @@ var serveCounters = []string{
 	"compute_canceled",        // computations canceled after all waiters left
 	"mutate_requests",         // /v1/mutate requests
 	"mutate_edges_added",      // edges inserted across all batches
+	"mutate_dedup_skipped",    // in-batch duplicate insertions dropped
+	"mutate_delete_edges",     // live edges removed by delete ops
+	"mutate_delete_missed",    // delete ops that matched no live edge
 	"mutate_errors",           // rejected mutation batches
+	"stream_requests",         // /v1/stream requests admitted to parsing
+	"stream_rejected",         // streams bounced by the in-flight bound (429)
+	"stream_errors",           // malformed ops, rejected batches, expiry failures
+	"stream_ops",              // NDJSON ops read across all streams
+	"stream_batches",          // mutation epochs applied by /v1/stream
+	"stream_cone_starts",      // queries warm-started via deletion-cone reset
+	"stream_replay_fallbacks", // cone exceeded MaxConeFraction; cold replay
+	"stream_window_sweeps",    // expiry ticker passes over windowed graphs
+	"stream_expired_edges",    // edges aged out of sliding-window graphs
 }
 
 // serveHistograms are the latency distributions, in microseconds.
 var serveHistograms = []string{
 	"query_latency_us",   // full request latency of /v1/query
 	"mutate_latency_us",  // full request latency of /v1/mutate
+	"stream_latency_us",  // full request latency of /v1/stream
 	"compute_latency_us", // worker-pool computation time (cache misses only)
 }
 

@@ -8,9 +8,11 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"time"
 
 	"graphpulse/internal/graph"
 	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/stream"
 )
 
 // GraphSpec names one resident graph and where it comes from. Exactly one
@@ -25,6 +27,12 @@ type GraphSpec struct {
 	// Graph is a pre-built in-memory graph (facade callers pass a
 	// *graphpulse.Graph directly).
 	Graph *graph.CSR
+	// Window, when positive, puts the graph in sliding-window mode:
+	// mutated edges carry ingest timestamps and expire once older than
+	// Window (the loaded base edges are permanent). Expirations run on the
+	// server's epoch ticker (Config.WindowTick) through the same deletion
+	// path as /v1/mutate deletes.
+	Window time.Duration
 }
 
 // ParseGraphArg parses the CLI form "name=source" (or a bare source, whose
@@ -82,27 +90,43 @@ func loadSource(spec GraphSpec, cache *gen.Cache) (*graph.CSR, error) {
 	return graph.ReadEdgeList(br, 0)
 }
 
-// mutation records one applied edge-insertion batch: the graph it was
-// applied to (epoch-1) and the edges it added. The bounded per-graph
-// history of these is what lets a query warm-start from a fixed point
-// converged several epochs ago.
+// mutation records one applied edge-set change: the graph it was applied
+// to (epoch-1), the edges it added, and the edges it removed (user
+// deletes and window expirations alike). The bounded per-graph history of
+// these is what lets a query warm-start from a fixed point converged
+// several epochs ago.
 type mutation struct {
-	epoch uint64 // epoch after applying the batch
-	base  *graph.CSR
-	added []graph.Edge
+	epoch   uint64 // epoch after applying the batch
+	base    *graph.CSR
+	added   []graph.Edge
+	removed []graph.Edge
+}
+
+// mutateOutcome reports one applied batch: the resulting version and the
+// per-edge accounting /v1/mutate and /v1/stream answer with.
+type mutateOutcome struct {
+	epoch   uint64
+	g       *graph.CSR
+	applied int // edges inserted (after in-batch deduplication)
+	skipped int // in-batch duplicate insertions dropped
+	deleted int // live edges removed by delete ops
+	missed  int // delete ops that matched no live edge
 }
 
 // residentGraph is one registry entry: the current immutable CSR, its
-// epoch, and a bounded mutation history. Snapshots are consistent
-// (graph, epoch) pairs; mutations serialize on the write lock.
+// epoch, the timestamped live-edge log behind it, and a bounded mutation
+// history. Snapshots are consistent (graph, epoch) pairs; mutations
+// serialize on the write lock.
 type residentGraph struct {
 	name    string
 	histMax int
+	window  time.Duration
 
 	mu      sync.RWMutex
 	g       *graph.CSR
 	epoch   uint64
 	history []mutation
+	log     *stream.Log
 }
 
 func loadResident(spec GraphSpec, cache *gen.Cache, histMax int) (*residentGraph, error) {
@@ -116,7 +140,16 @@ func loadResident(spec GraphSpec, cache *gen.Cache, histMax int) (*residentGraph
 	if g.NumVertices() == 0 {
 		return nil, fmt.Errorf("serve: graph %q is empty", spec.Name)
 	}
-	return &residentGraph{name: spec.Name, histMax: histMax, g: g}, nil
+	if spec.Window < 0 {
+		return nil, fmt.Errorf("serve: graph %q has a negative window", spec.Name)
+	}
+	return &residentGraph{
+		name:    spec.Name,
+		histMax: histMax,
+		window:  spec.Window,
+		g:       g,
+		log:     stream.NewLog(g.Edges()),
+	}, nil
 }
 
 // snapshot returns a consistent (graph, epoch) pair.
@@ -136,45 +169,124 @@ func (r *residentGraph) info() GraphInfo {
 		NumVertices: r.g.NumVertices(),
 		NumEdges:    r.g.NumEdges(),
 		Weighted:    r.g.Weighted(),
+		WindowSecs:  r.window.Seconds(),
 	}
 }
 
-// applyInsert rebuilds the CSR with the batch appended, bumps the epoch,
-// and records the mutation in the bounded history. The vertex set is
-// fixed: edges referencing unknown vertices are rejected whole-batch.
-func (r *residentGraph) applyInsert(added []graph.Edge) (uint64, *graph.CSR, error) {
+// applyBatch applies one mutation epoch: insert ins (deduplicated within
+// the batch, timestamped now), then delete every live edge matching a
+// (Src, Dst) pair in dels — so a batch that inserts and deletes the same
+// edge nets to a delete. The vertex set is fixed: edges referencing
+// unknown vertices reject the whole batch. A batch with no effect
+// (all-duplicate inserts, all-miss deletes) returns the current version
+// unchanged without burning an epoch.
+func (r *residentGraph) applyBatch(ins, dels []graph.Edge, now time.Time) (mutateOutcome, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	edges := r.g.Edges()
-	edges = append(edges, added...)
-	ng, err := graph.FromEdges(r.g.NumVertices(), edges, r.g.Weighted())
+	n := r.g.NumVertices()
+	for _, e := range ins {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			return mutateOutcome{}, fmt.Errorf("edge %d->%d outside vertex set (n=%d)", e.Src, e.Dst, n)
+		}
+	}
+	for _, e := range dels {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			return mutateOutcome{}, fmt.Errorf("delete %d->%d outside vertex set (n=%d)", e.Src, e.Dst, n)
+		}
+	}
+	applied, skipped := dedupEdges(stream.NormalizeWeights(ins, r.g.Weighted()))
+	r.log.Append(applied, now)
+	removed, missed := r.log.Remove(dels)
+	out := mutateOutcome{
+		applied: len(applied),
+		skipped: skipped,
+		deleted: len(removed),
+		missed:  missed,
+	}
+	if len(applied) == 0 && len(removed) == 0 {
+		out.epoch, out.g = r.epoch, r.g
+		return out, nil
+	}
+	if err := r.rebuildLocked(applied, removed); err != nil {
+		return mutateOutcome{}, err
+	}
+	out.epoch, out.g = r.epoch, r.g
+	return out, nil
+}
+
+// expire ages out timestamped edges older than the graph's window and
+// returns how many were removed (0 when the graph is not windowed or
+// nothing aged out).
+func (r *residentGraph) expire(now time.Time) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.window <= 0 {
+		return 0, nil
+	}
+	removed := r.log.Expire(now, r.window)
+	if len(removed) == 0 {
+		return 0, nil
+	}
+	if err := r.rebuildLocked(nil, removed); err != nil {
+		return 0, err
+	}
+	return len(removed), nil
+}
+
+// rebuildLocked materializes the log into a fresh CSR, bumps the epoch,
+// and records the (added, removed) change in the bounded history. Callers
+// hold the write lock and have already updated the log.
+func (r *residentGraph) rebuildLocked(added, removed []graph.Edge) error {
+	ng, err := graph.FromEdges(r.g.NumVertices(), r.log.Edges(), r.g.Weighted())
 	if err != nil {
-		return 0, nil, err
+		return err
 	}
 	r.history = append(r.history, mutation{
-		epoch: r.epoch + 1,
-		base:  r.g,
-		added: append([]graph.Edge(nil), added...),
+		epoch:   r.epoch + 1,
+		base:    r.g,
+		added:   append([]graph.Edge(nil), added...),
+		removed: append([]graph.Edge(nil), removed...),
 	})
 	if len(r.history) > r.histMax {
 		r.history = r.history[len(r.history)-r.histMax:]
 	}
 	r.g = ng
 	r.epoch++
-	return r.epoch, ng, nil
+	return nil
+}
+
+// dedupEdges drops exact (Src, Dst, Weight) duplicates within one insert
+// batch, returning the edges to apply and how many were skipped.
+// Re-inserting an edge that is already live in the graph is legitimate
+// (multigraphs are supported); silently double-applying the same edge
+// from one request was not.
+func dedupEdges(ins []graph.Edge) ([]graph.Edge, int) {
+	if len(ins) == 0 {
+		return nil, 0
+	}
+	seen := make(map[graph.Edge]bool, len(ins))
+	applied := make([]graph.Edge, 0, len(ins))
+	for _, e := range ins {
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		applied = append(applied, e)
+	}
+	return applied, len(ins) - len(applied)
 }
 
 // warmPath returns what is needed to warm-start from a fixed point
 // converged at fromEpoch up to toEpoch: the graph as it stood at
-// fromEpoch and every edge added since, in order. It fails (ok=false)
-// when the history no longer reaches back that far or when toEpoch is not
-// the current epoch (the snapshot raced past a newer mutation — the
-// caller cold-solves instead).
-func (r *residentGraph) warmPath(fromEpoch, toEpoch uint64) (*graph.CSR, []graph.Edge, bool) {
+// fromEpoch and every edge added and removed since, in order. It fails
+// (ok=false) when the history no longer reaches back that far or when
+// toEpoch is not the current epoch (the snapshot raced past a newer
+// mutation — the caller cold-solves instead).
+func (r *residentGraph) warmPath(fromEpoch, toEpoch uint64) (base *graph.CSR, added, removed []graph.Edge, ok bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if fromEpoch >= toEpoch || toEpoch != r.epoch {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	start := -1
 	for i, m := range r.history {
@@ -184,12 +296,12 @@ func (r *residentGraph) warmPath(fromEpoch, toEpoch uint64) (*graph.CSR, []graph
 		}
 	}
 	if start < 0 {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
-	base := r.history[start].base
-	var added []graph.Edge
+	base = r.history[start].base
 	for _, m := range r.history[start:] {
 		added = append(added, m.added...)
+		removed = append(removed, m.removed...)
 	}
-	return base, added, true
+	return base, added, removed, true
 }

@@ -10,7 +10,8 @@
 // The request path:
 //
 //	/v1/query   POST  algorithm × params × engine over a resident graph
-//	/v1/mutate  POST  batched edge insertions; bumps the graph epoch
+//	/v1/mutate  POST  batched edge insertions and deletions; bumps the epoch
+//	/v1/stream  POST  bulk NDJSON ingestion (chunked insert/delete ops)
 //	/v1/graphs  GET   resident graph inventory
 //	/metrics    GET   request counters and latency histograms (METRICS.md)
 //	/healthz    GET   liveness
@@ -23,6 +24,13 @@
 // backlog. Request deadlines propagate into the native worklist solver
 // (algorithms.SolveCtx) and the simulated engines (sim.Engine.RunUntil)
 // through context cancellation.
+//
+// Mutations cover the full streaming story (internal/stream): insertions
+// warm-start from the prior fixed point via correction seeding, deletions
+// re-initialize only the dependency cone of the removed contributions
+// (degrading to a full replay past Config.MaxConeFraction), and graphs
+// configured with GraphSpec.Window age mutated edges out on an epoch
+// ticker through the same deletion path.
 package serve
 
 import (
@@ -36,6 +44,7 @@ import (
 	"time"
 
 	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/stream"
 )
 
 // Config describes a Server. The zero value of every field is replaced by
@@ -65,6 +74,21 @@ type Config struct {
 	// retains for warm-starting queries whose cached state predates the
 	// current epoch (default 8).
 	MutationHistory int
+	// MaxConeFraction caps selective re-initialization after deletions:
+	// when the dependency cone of a deletion batch exceeds this fraction
+	// of the vertex set, the warm start degrades to a full replay (cold
+	// solve) instead (default stream.DefaultMaxConeFraction).
+	MaxConeFraction float64
+	// WindowTick is the period of the expiry ticker that ages edges out
+	// of sliding-window graphs (GraphSpec.Window); it only runs when at
+	// least one configured graph is windowed (default 1s).
+	WindowTick time.Duration
+	// StreamBatch is how many /v1/stream operations are grouped into one
+	// applied mutation epoch (default 256).
+	StreamBatch int
+	// StreamInflight bounds concurrently served /v1/stream requests;
+	// excess streams are rejected with 429 + Retry-After (default 2).
+	StreamInflight int
 	// Cache supplies memoized Table IV dataset stand-ins for "ABBREV:tier"
 	// graph sources (default gen.Default).
 	Cache *gen.Cache
@@ -98,6 +122,18 @@ func (c Config) withDefaults() Config {
 	if c.MutationHistory <= 0 {
 		c.MutationHistory = 8
 	}
+	if c.MaxConeFraction <= 0 {
+		c.MaxConeFraction = stream.DefaultMaxConeFraction
+	}
+	if c.WindowTick <= 0 {
+		c.WindowTick = time.Second
+	}
+	if c.StreamBatch <= 0 {
+		c.StreamBatch = 256
+	}
+	if c.StreamInflight <= 0 {
+		c.StreamInflight = 2
+	}
 	if c.Cache == nil {
 		c.Cache = gen.Default
 	}
@@ -123,6 +159,18 @@ type Server struct {
 	workers sync.WaitGroup
 	stop    sync.Once
 
+	// streamSem bounds concurrently served /v1/stream requests; a full
+	// channel answers 429 + Retry-After, like the compute queue.
+	streamSem chan struct{}
+
+	// windowStop ends the expiry ticker goroutine (nil when no graph is
+	// windowed); now is the clock mutations and expiry sweeps read, a
+	// field so window tests can drive a synthetic clock.
+	windowStop chan struct{}
+	windowOnce sync.Once
+	ticker     sync.WaitGroup
+	now        func() time.Time
+
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
@@ -145,13 +193,15 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("serve: no graphs configured")
 	}
 	s := &Server{
-		cfg:     cfg,
-		graphs:  make(map[string]*residentGraph),
-		cache:   newResultCache(cfg.CacheEntries),
-		metrics: NewMetrics(),
-		flights: make(map[string]*flight),
-		jobs:    make(chan func(), cfg.QueueDepth),
-		started: time.Now(),
+		cfg:       cfg,
+		graphs:    make(map[string]*residentGraph),
+		cache:     newResultCache(cfg.CacheEntries),
+		metrics:   NewMetrics(),
+		flights:   make(map[string]*flight),
+		jobs:      make(chan func(), cfg.QueueDepth),
+		streamSem: make(chan struct{}, cfg.StreamInflight),
+		started:   time.Now(),
+		now:       time.Now,
 	}
 	for _, spec := range cfg.Graphs {
 		rg, err := loadResident(spec, cfg.Cache, cfg.MutationHistory)
@@ -175,7 +225,53 @@ func New(cfg Config) (*Server, error) {
 			}
 		}()
 	}
+	windowed := false
+	for _, rg := range s.graphs {
+		if rg.window > 0 {
+			windowed = true
+		}
+	}
+	if windowed {
+		s.windowStop = make(chan struct{})
+		s.ticker.Add(1)
+		go func() {
+			defer s.ticker.Done()
+			t := time.NewTicker(cfg.WindowTick)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.windowStop:
+					return
+				case <-t.C:
+					s.sweepWindows(s.now())
+				}
+			}
+		}()
+	}
 	return s, nil
+}
+
+// sweepWindows runs one expiry pass over every windowed graph at time
+// now, batching aged-out edges into the same deletion path /v1/mutate
+// uses. The epoch ticker calls it; window tests call it directly with a
+// synthetic clock.
+func (s *Server) sweepWindows(now time.Time) {
+	s.metrics.Add("stream_window_sweeps", 1)
+	for _, name := range s.order {
+		rg := s.graphs[name]
+		if rg.window <= 0 {
+			continue
+		}
+		n, err := rg.expire(now)
+		if err != nil {
+			s.metrics.Add("stream_errors", 1)
+			s.logf("serve: window expiry on %q: %v", name, err)
+			continue
+		}
+		if n > 0 {
+			s.metrics.Add("stream_expired_edges", int64(n))
+		}
+	}
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -236,6 +332,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 	if srv != nil {
 		err = srv.Shutdown(ctx)
+	}
+	if s.windowStop != nil {
+		s.windowOnce.Do(func() { close(s.windowStop) })
+		s.ticker.Wait()
 	}
 	s.stop.Do(func() { close(s.jobs) })
 	done := make(chan struct{})

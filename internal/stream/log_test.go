@@ -1,0 +1,62 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"graphpulse/internal/graph"
+)
+
+func e(src, dst int) graph.Edge {
+	return graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst), Weight: 1}
+}
+
+func TestLogRemoveMatchesAllLiveCopies(t *testing.T) {
+	l := NewLog([]graph.Edge{e(0, 1), e(1, 2)})
+	l.Append([]graph.Edge{e(0, 1), e(2, 3)}, time.Unix(10, 0))
+
+	removed, missed := l.Remove([]graph.Edge{e(0, 1), e(5, 6)})
+	if len(removed) != 2 {
+		t.Fatalf("removed %d edges, want 2 (both live copies of 0->1)", len(removed))
+	}
+	if missed != 1 {
+		t.Fatalf("missed = %d, want 1 (5->6 is not live)", missed)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("log has %d edges after removal, want 2", l.Len())
+	}
+
+	// A duplicate delete of the same pair in a later batch misses.
+	_, missed = l.Remove([]graph.Edge{e(0, 1)})
+	if missed != 1 {
+		t.Fatalf("re-delete missed = %d, want 1", missed)
+	}
+}
+
+func TestLogRemoveCountsDuplicateMissOnce(t *testing.T) {
+	l := NewLog([]graph.Edge{e(0, 1)})
+	removed, missed := l.Remove([]graph.Edge{e(4, 4), e(4, 4)})
+	if len(removed) != 0 || missed != 1 {
+		t.Fatalf("removed=%d missed=%d, want 0 removed and the duplicate miss counted once", len(removed), missed)
+	}
+}
+
+func TestLogExpireSparesPermanentEdges(t *testing.T) {
+	l := NewLog([]graph.Edge{e(0, 1)})
+	l.Append([]graph.Edge{e(1, 2)}, time.Unix(100, 0))
+	l.Append([]graph.Edge{e(2, 3)}, time.Unix(200, 0))
+
+	expired := l.Expire(time.Unix(260, 0), 100*time.Second)
+	if len(expired) != 1 || expired[0].Dst != 2 {
+		t.Fatalf("expired %v, want exactly the edge ingested at t=100", expired)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("log has %d edges, want 2 (permanent 0->1 and fresh 2->3)", l.Len())
+	}
+	if got := l.Expire(time.Unix(1e6, 0), 100*time.Second); len(got) != 1 {
+		t.Fatalf("second sweep expired %d edges, want 1 (only the timestamped one)", len(got))
+	}
+	if l.Len() != 1 {
+		t.Fatalf("permanent edge expired: %d live edges, want 1", l.Len())
+	}
+}

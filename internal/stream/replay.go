@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"time"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/graph"
+)
+
+// SolveFunc runs one algorithm over one graph to its fixed point — the
+// engine under test (serial Solve, psolve, …) adapted to a plain function
+// so the Replayer stays engine-agnostic.
+type SolveFunc func(g *graph.CSR, alg algorithms.Algorithm) ([]float64, error)
+
+// Replayer drives one (algorithm, engine) pair through a mutation
+// sequence the way the serving tier does: after every epoch it holds the
+// warm-continued state, chosen per mutation the same way serve's compute
+// path chooses it — insertion seeding when the epoch only added edges,
+// the deletion cone when anything was removed, full replay when the cone
+// is too large. Differential tests compare State() against a cold solve
+// of Graph() after every epoch.
+//
+// A Replayer is single-writer and not concurrency-safe.
+type Replayer struct {
+	mk          func() algorithms.Algorithm
+	solve       SolveFunc
+	maxConeFrac float64
+
+	log      *Log
+	g        *graph.CSR
+	weighted bool
+	state    []float64
+
+	// Epoch counts applied mutations (0 = the base graph).
+	Epoch uint64
+	// SeedStarts, ConeStarts, Replays count how each epoch re-converged;
+	// LastMode names the most recent choice ("cold", "seed", "cone",
+	// "replay").
+	SeedStarts, ConeStarts, Replays int
+	LastMode                        string
+}
+
+// NewReplayer builds a Replayer over base. maxConeFrac ≤ 0 selects
+// DefaultMaxConeFraction. The base edges are permanent: window expiry
+// never removes them (user deletes do).
+func NewReplayer(base *graph.CSR, mk func() algorithms.Algorithm, solve SolveFunc, maxConeFrac float64) *Replayer {
+	return &Replayer{
+		mk:          mk,
+		solve:       solve,
+		maxConeFrac: maxConeFrac,
+		log:         NewLog(base.Edges()),
+		g:           base,
+		weighted:    base.Weighted(),
+	}
+}
+
+// Graph returns the current materialized graph.
+func (r *Replayer) Graph() *graph.CSR { return r.g }
+
+// State returns the converged per-vertex values for the current epoch,
+// cold-solving lazily on first use. Callers must not modify the slice.
+func (r *Replayer) State() ([]float64, error) {
+	if r.state == nil {
+		vals, err := r.solve(r.g, r.mk())
+		if err != nil {
+			return nil, err
+		}
+		r.state = vals
+		r.LastMode = "cold"
+	}
+	return r.state, nil
+}
+
+// Apply ingests one mutation epoch: insert ins (timestamped at), then
+// delete every live edge matching a (Src, Dst) pair in dels, rebuild the
+// graph, and re-converge through the warm path.
+func (r *Replayer) Apply(ins, dels []graph.Edge, at time.Time) error {
+	if _, err := r.State(); err != nil {
+		return err
+	}
+	ins = NormalizeWeights(ins, r.weighted)
+	r.log.Append(ins, at)
+	removed, _ := r.log.Remove(dels)
+	return r.reconverge(ins, removed)
+}
+
+// Expire removes every timestamped edge older than horizon at time now
+// and re-converges; it returns how many edges aged out (0 = no new
+// epoch).
+func (r *Replayer) Expire(now time.Time, horizon time.Duration) (int, error) {
+	if _, err := r.State(); err != nil {
+		return 0, err
+	}
+	removed := r.log.Expire(now, horizon)
+	if len(removed) == 0 {
+		return 0, nil
+	}
+	return len(removed), r.reconverge(nil, removed)
+}
+
+// reconverge rebuilds the graph from the log and warm-continues the state
+// across the (added, removed) change.
+func (r *Replayer) reconverge(added, removed []graph.Edge) error {
+	old := r.g
+	ng, err := graph.FromEdges(old.NumVertices(), r.log.Edges(), r.weighted)
+	if err != nil {
+		return err
+	}
+	alg := r.mk()
+	var runAlg algorithms.Algorithm
+	if len(removed) == 0 {
+		if seeder, ok := alg.(algorithms.InsertionSeeder); ok {
+			warm := append([]float64(nil), r.state...)
+			seeds := seeder.SeedInsertions(old, added, warm)
+			runAlg = algorithms.WarmStart(alg, warm, seeds)
+			r.SeedStarts++
+			r.LastMode = "seed"
+		}
+	}
+	if runAlg == nil {
+		plan, err := PlanRestart(alg, ng, added, removed, r.state, r.maxConeFrac)
+		if err != nil {
+			return err
+		}
+		if plan.Replay {
+			runAlg = alg
+			r.Replays++
+			r.LastMode = "replay"
+		} else {
+			runAlg = algorithms.WarmStart(alg, plan.State, plan.Seeds)
+			r.ConeStarts++
+			r.LastMode = "cone"
+		}
+	}
+	vals, err := r.solve(ng, runAlg)
+	if err != nil {
+		return err
+	}
+	r.g, r.state = ng, vals
+	r.Epoch++
+	return nil
+}

@@ -1,0 +1,32 @@
+// Package stream is the mutation side of the streaming-graph story: it
+// turns arbitrary edge-set changes — insertions, deletions, and age-based
+// window expirations — into warm-start plans the delta-accumulative
+// engines can resume from, instead of recomputing every fixed point from
+// scratch.
+//
+// Insertions are easy for the delta model (seed the contribution the new
+// edge carries; see algorithms.InsertionSeeder). Deletions are the classic
+// hard case: a min/max fixed point may have committed to a value that only
+// the removed edge justified, and no single correction event can retract
+// it. This package implements the standard recovery: compute the
+// dependency cone — the set of vertices whose converged value may have
+// depended on any removed contribution — reset exactly those vertices to
+// their cold-start state, and re-seed them from the surviving in-edges
+// that cross the cone boundary. Everything outside the cone keeps its
+// converged value and is provably unaffected (see PlanRestart). When the
+// cone covers most of the graph the selective restart buys nothing, so
+// the plan degrades to a full replay (cold solve) instead.
+//
+// The three pieces:
+//
+//   - PlanRestart — the cone planner: (algorithm, new graph, added,
+//     removed, converged state) → warm state + seed events, or a replay
+//     decision.
+//   - Log — a timestamped edge log implementing the sliding-window graph
+//     mode: edges carry ingest times and expire by age; expirations feed
+//     the same deletion path.
+//   - Replayer — a single-writer harness that drives one (algorithm,
+//     engine) pair through a mutation sequence the way an online server
+//     would, exposing the warm state after every epoch so differential
+//     tests can hold it against a cold-solve oracle.
+package stream
