@@ -11,9 +11,12 @@
 //
 // With -qps the driver is open-loop (arrivals paced at the target rate);
 // without it, closed-loop (-c workers back-to-back). -min-qps exits
-// non-zero when the achieved query rate falls short, and -max-errors when
-// hard failures (non-2xx other than 429/504) exceed the cap — the CI
-// smoke gates.
+// non-zero when the achieved query rate falls short, -max-errors when
+// hard failures (non-2xx other than 429/504) exceed the cap, and
+// -min-availability when the non-error fraction drops below the floor —
+// the CI smoke gates (serve-smoke and dserve-smoke). loadgen works
+// unchanged against a cmd/router front: the router speaks the same /v1/*
+// API as a single worker.
 package main
 
 import (
@@ -46,6 +49,7 @@ func main() {
 		csvPath = flag.String("csv", "", "write the summary as CSV to this file (atomic)")
 		minQPS  = flag.Float64("min-qps", 0, "exit non-zero unless the achieved query rate reaches this")
 		maxErrs = flag.Int64("max-errors", -1, "exit non-zero when hard failures across all kinds exceed this (-1 = no gate)")
+		minAvail = flag.Float64("min-availability", 0, "exit non-zero when the non-error fraction across all kinds falls below this (0 = no gate)")
 	)
 	flag.Parse()
 	if *graph == "" {
@@ -91,6 +95,12 @@ func main() {
 	if *maxErrs >= 0 {
 		if got := summary.TotalErrors(); got > *maxErrs {
 			fmt.Fprintf(os.Stderr, "loadgen: %d hard failures, allowed ≤ %d\n", got, *maxErrs)
+			os.Exit(1)
+		}
+	}
+	if *minAvail > 0 {
+		if got := summary.Availability(); got < *minAvail {
+			fmt.Fprintf(os.Stderr, "loadgen: availability %.4f, need ≥ %.4f\n", got, *minAvail)
 			os.Exit(1)
 		}
 	}

@@ -10,10 +10,19 @@
 //	serve -graph wg=WG:mini -workers 8 -queue 128
 //	serve -graph wg=WG:tiny -window 5m                  # sliding-window mode
 //
+// With -worker the process joins a distributed serving tier behind
+// cmd/router (OPERATIONS.md): it registers with -router, heartbeats,
+// persists snapshots to -snapshot-dir, and on startup warm-restores from
+// the newest local snapshot, then from a peer via the router — instead of
+// cold re-solving:
+//
+//	serve -worker -router http://127.0.0.1:8090 -addr 127.0.0.1:8081 \
+//	      -graph wg=WG:tiny -snapshot-dir /var/lib/graphpulse/w1
+//
 // Endpoints: POST /v1/query, POST /v1/mutate, POST /v1/stream,
-// GET /v1/graphs, GET /metrics, GET /healthz, /debug/pprof.
-// SIGINT/SIGTERM drain in-flight requests (bounded by -drain) before
-// exit.
+// GET /v1/graphs, GET /metrics, GET /healthz, /debug/pprof (plus
+// GET /internal/snapshot in worker mode). SIGINT/SIGTERM drain in-flight
+// requests (bounded by -drain) before exit.
 package main
 
 import (
@@ -21,11 +30,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"graphpulse/internal/dserve"
 	"graphpulse/internal/serve"
 )
 
@@ -46,6 +57,14 @@ func main() {
 		sflight = flag.Int("stream-inflight", 2, "concurrent /v1/stream requests before 429")
 		drain   = flag.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight requests")
 		doPprof = flag.Bool("pprof", true, "mount /debug/pprof")
+
+		// Distributed-tier (worker mode) flags; see OPERATIONS.md.
+		asWorker  = flag.Bool("worker", false, "join a distributed tier: register with -router, heartbeat, persist and restore snapshots")
+		routerURL = flag.String("router", "", "router base URL to register with (worker mode)")
+		advertise = flag.String("advertise", "", "base URL the router and peers reach this worker at (default: derived from the bound address)")
+		snapDir   = flag.String("snapshot-dir", "", "directory for per-graph snapshot files (worker mode; empty disables persistence)")
+		snapEvery = flag.Duration("snapshot-every", 30*time.Second, "snapshot persist period (worker mode)")
+		heartbeat = flag.Duration("heartbeat", 5*time.Second, "router re-registration period (worker mode)")
 	)
 	var specs []serve.GraphSpec
 	flag.Func("graph", "resident graph as name=SOURCE; SOURCE is ABBREV:tier (e.g. WG:tiny) or a graph file (repeatable)", func(v string) error {
@@ -87,21 +106,86 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	bound, err := srv.Start(*addr)
-	if err != nil {
-		logger.Fatal(err)
-	}
-	logger.Printf("serving on http://%s", bound)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	var (
+		bound      net.Addr
+		workerDone chan struct{}
+		workerStop context.CancelFunc
+	)
+	if *asWorker {
+		adv := *advertise
+		if adv == "" {
+			adv, err = deriveAdvertise(*addr)
+			if err != nil {
+				logger.Fatalf("serve: cannot derive -advertise from -addr %q: %v (pass -advertise explicitly)", *addr, err)
+			}
+		}
+		wk, err := dserve.NewWorker(dserve.WorkerConfig{
+			Server:        srv,
+			RouterURL:     *routerURL,
+			Advertise:     adv,
+			SnapshotDir:   *snapDir,
+			SnapshotEvery: *snapEvery,
+			Heartbeat:     *heartbeat,
+			Logf:          logger.Printf,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		// Restore the last persisted state before accepting traffic.
+		wk.RestoreLocal()
+		bound, err = srv.StartWith(*addr, wk.Handler())
+		if err != nil {
+			logger.Fatal(err)
+		}
+		var wctx context.Context
+		wctx, workerStop = context.WithCancel(context.Background())
+		workerDone = make(chan struct{})
+		go func() {
+			defer close(workerDone)
+			wk.Run(wctx)
+		}()
+		logger.Printf("serving (worker mode) on http://%s", bound)
+	} else {
+		bound, err = srv.Start(*addr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("serving on http://%s", bound)
+	}
+
 	<-ctx.Done()
-	stop()
+	stopSignals()
 	logger.Printf("signal received, draining (budget %s)", *drain)
+	if workerStop != nil {
+		workerStop() // final snapshot persist happens inside Run
+		<-workerDone
+	}
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
 		logger.Printf("drain incomplete: %v", err)
 		os.Exit(1)
 	}
+}
+
+// deriveAdvertise turns a -addr listen spec into a reachable base URL,
+// mapping wildcard hosts onto loopback. A ":0" port cannot be derived —
+// the port is only known after binding, so -advertise must be explicit.
+func deriveAdvertise(addr string) (string, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", err
+	}
+	if port == "" || port == "0" {
+		return "", fmt.Errorf("listen port is dynamic")
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port), nil
 }

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"graphpulse/internal/core"
+	"graphpulse/internal/dserve"
+	"graphpulse/internal/loadgen"
+	"graphpulse/internal/serve"
+)
+
+// scaleoutWorkerCounts is the software fleet sizes the scale-out curve
+// visits; scaleoutPointDur is the measured load window per point. Short
+// windows keep the whole experiment inside a few seconds — the target is
+// the curve's shape, not absolute throughput.
+var scaleoutWorkerCounts = []int{1, 2, 3}
+
+const scaleoutPointDur = 800 * time.Millisecond
+
+// runScaleout measures the distributed serving tier's software scaling
+// curve — queries/s through a dserve router as the worker fleet grows,
+// every worker a full replica of one graph — next to the simulated
+// multi-chip scaling curve of the core cluster model (Section IV-F option
+// b). The two answer the same question at different layers: how much
+// does adding nodes help when the dataset itself is not partitioned?
+// Like the "scaling" experiment these are host wall-clock numbers; the
+// reproduction target is the shape. EXPERIMENTS.md ("Serving scale-out")
+// discusses where the software curve tracks the simulated one and where
+// the analogy breaks.
+func runScaleout(opt Options, _ *Sweep) error {
+	fmt.Fprintf(opt.Out, "Scale-out — measured router/worker throughput vs simulated multi-chip speedup (%s tier)\n", opt.Tier)
+	fmt.Fprintln(opt.Out, "software: WG-class graph fully replicated on every worker; reads rotate across replicas")
+
+	spec, err := serve.ParseGraphArg("wg=WG:" + opt.Tier.String())
+	if err != nil {
+		return err
+	}
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "workers\tquery qps\tspeedup\terrors")
+	var baseQPS float64
+	for _, n := range scaleoutWorkerCounts {
+		sum, err := scaleoutPoint(spec, n)
+		if err != nil {
+			return fmt.Errorf("bench: scaleout %d workers: %w", n, err)
+		}
+		qps := sum.AchievedQPS("query")
+		if n == scaleoutWorkerCounts[0] {
+			baseQPS = qps
+		}
+		speedup := 0.0
+		if baseQPS > 0 {
+			speedup = qps / baseQPS
+		}
+		fmt.Fprintf(tw, "%d\t%.0f\t%.2fx\t%d\n", n, qps, speedup, sum.TotalErrors())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Simulated counterpart: the cycle-level cluster model on the same
+	// workload class, chips streaming events over the interconnect.
+	o := opt
+	o.Datasets = []string{"WG"}
+	o.Algorithms = []string{"pr"}
+	ws, err := Workloads(o)
+	if err != nil {
+		return err
+	}
+	w := ws[0]
+	single, err := runOpt(w, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(opt.Out, "simulated: core cluster model, same workload class, cycle-level")
+	tw = newTable(opt.Out)
+	fmt.Fprintln(tw, "chips\tcycles\tspeedup\tinter-chip events")
+	fmt.Fprintf(tw, "1\t%d\t1.00x\t0\n", single.Cycles)
+	for _, chips := range []int{2, 4} {
+		ccfg := core.DefaultClusterConfig()
+		ccfg.Chips = chips
+		if opt.MaxCycles > 0 {
+			ccfg.Chip.MaxCycles = opt.MaxCycles
+		}
+		cl, err := core.NewCluster(ccfg, w.Graph, w.NewAlgorithm())
+		if err != nil {
+			return err
+		}
+		res, err := cl.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.2fx\t%d\n",
+			chips, res.Cycles, float64(single.Cycles)/float64(res.Cycles), res.InterChipEvents)
+	}
+	return tw.Flush()
+}
+
+// scaleoutPoint boots n in-process workers and a router fronting them at
+// full replication, prewarms every worker's cache, drives a closed-loop
+// query burst through the router, and tears the fleet down.
+func scaleoutPoint(spec serve.GraphSpec, n int) (loadgen.Summary, error) {
+	var none loadgen.Summary
+	type node struct {
+		srv *serve.Server
+		url string
+	}
+	var nodes []node
+	shutdownAll := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, nd := range nodes {
+			nd.srv.Shutdown(ctx)
+		}
+	}
+	for i := 0; i < n; i++ {
+		srv, err := serve.New(serve.Config{Graphs: []serve.GraphSpec{spec}, QueueDepth: 256})
+		if err != nil {
+			shutdownAll()
+			return none, err
+		}
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			srv.Shutdown(context.Background())
+			shutdownAll()
+			return none, err
+		}
+		nodes = append(nodes, node{srv: srv, url: "http://" + addr.String()})
+	}
+	defer shutdownAll()
+
+	seeds := make([]string, len(nodes))
+	for i, nd := range nodes {
+		seeds[i] = nd.url
+	}
+	rt, err := dserve.NewRouter(dserve.RouterConfig{
+		Workers:       seeds,
+		Replication:   n,
+		ProbeInterval: 200 * time.Millisecond,
+		RetryBudget:   1,
+	})
+	if err != nil {
+		return none, err
+	}
+	raddr, err := rt.Start("127.0.0.1:0")
+	if err != nil {
+		return none, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx)
+	}()
+
+	// Prewarm each worker directly so every point measures cache-served
+	// routing throughput, not n cold solves.
+	for _, nd := range nodes {
+		if err := scaleoutPrewarm(nd.url, spec.Name); err != nil {
+			return none, err
+		}
+	}
+
+	stats, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     "http://" + raddr.String(),
+		Graph:       spec.Name,
+		Algorithm:   "pr",
+		Concurrency: 8,
+		Duration:    scaleoutPointDur,
+	})
+	if err != nil {
+		return none, err
+	}
+	return stats.Summarize(), nil
+}
+
+// scaleoutPrewarm issues the same query loadgen sends, directly to one
+// worker, so its cold solve happens outside the measured window.
+func scaleoutPrewarm(workerURL, graph string) error {
+	root := uint32(0)
+	body, err := json.Marshal(serve.QueryRequest{
+		Graph: graph, Algorithm: "pr", Root: &root, Top: 1,
+	})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	resp, err := client.Post(workerURL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("prewarm %s: status %d", workerURL, resp.StatusCode)
+	}
+	return nil
+}

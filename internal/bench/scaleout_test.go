@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestScaleoutExperiment boots the real router/worker fleet at each point
+// and checks the rendered curve has both the measured and the simulated
+// table.
+func TestScaleoutExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-out experiment boots HTTP fleets; not short")
+	}
+	var buf bytes.Buffer
+	if err := RunExperiments([]string{"scaleout"}, smallOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Scale-out", "workers", "query qps", "chips", "inter-chip events", "1.00x",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scaleout output missing %q:\n%s", want, out)
+		}
+	}
+	// Every software point must have completed without hard failures.
+	if strings.Contains(out, "FAILED") {
+		t.Errorf("scaleout reported a failure:\n%s", out)
+	}
+}

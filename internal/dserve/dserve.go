@@ -1,0 +1,72 @@
+// Package dserve is the distributed serving tier: a stateless router in
+// front of N serve.Server worker processes, scaling the single-process
+// analytics service (internal/serve) horizontally — the software analogue
+// of the paper's multi-chip scale-out (Section IV-F option b), whose
+// cycle-level counterpart is the internal/core cluster interconnect model.
+//
+// Topology and responsibilities:
+//
+//   - The Router consistent-hashes requests by graph name onto a replica
+//     set of Config.Replication workers (a Ring of virtual nodes keeps key
+//     movement bounded when workers join or leave). Reads (/v1/query)
+//     rotate across healthy replicas and retry on the next replica after
+//     an upstream failure, within a retry budget; writes (/v1/mutate,
+//     /v1/stream) fan out to every replica, serialized per graph so all
+//     replicas apply mutation epochs in the same order.
+//   - Health is probed (GET /healthz) on a fixed interval. A worker
+//     failing Config.FailAfter consecutive probes (or request-path
+//     attempts) is ejected and re-probed on an exponential backoff; a
+//     succeeding probe — or an inbound registration heartbeat — readmits
+//     it immediately.
+//   - The Worker wraps a serve.Server with the distributed-tier duties:
+//     it registers with the router (and re-registers on a heartbeat, so a
+//     restarted router relearns the fleet from its workers — the router
+//     holds no durable state), periodically persists serve.Snapshot
+//     images via internal/atomicio, serves them to peers on
+//     GET /internal/snapshot, and at startup restores the newest local or
+//     peer snapshot instead of cold re-solving.
+//
+// The router speaks the same /v1/* API as a single worker, so cmd/loadgen
+// and any serve client work against it unchanged. OPERATIONS.md is the
+// deployment runbook; DESIGN.md ("Distributed serving") maps this design
+// onto the paper's multi-chip scheme and states where the analogy breaks.
+package dserve
+
+// RegisterRequest is the body of POST /internal/register: a worker
+// announcing (or re-announcing, as a heartbeat) its advertised base URL
+// and the graphs it hosts.
+type RegisterRequest struct {
+	URL    string   `json:"url"`
+	Graphs []string `json:"graphs"`
+}
+
+// RegisterResponse acknowledges a registration. Peers maps each of the
+// worker's graphs to the *other* currently-healthy workers hosting it —
+// the snapshot sources a rejoining worker warm-starts from.
+type RegisterResponse struct {
+	Peers map[string][]string `json:"peers,omitempty"`
+}
+
+// WorkerInfo is one row of GET /internal/workers: the router's live view
+// of a worker.
+type WorkerInfo struct {
+	URL     string   `json:"url"`
+	Healthy bool     `json:"healthy"`
+	// Draining marks a worker cordoned via POST /internal/drain: it keeps
+	// its registration but receives no new traffic.
+	Draining bool `json:"draining,omitempty"`
+	// Fails is the current consecutive probe/request failure count.
+	Fails int `json:"fails,omitempty"`
+	// Graphs is the hosted graph set from registration; empty means the
+	// worker was configured as a static seed and is assumed to host
+	// every graph until it registers.
+	Graphs  []string `json:"graphs,omitempty"`
+	LastErr string   `json:"last_err,omitempty"`
+}
+
+// DrainRequest is the body of POST /internal/drain: cordon (or, with
+// Undrain, readmit) the worker with the given advertised URL.
+type DrainRequest struct {
+	URL     string `json:"url"`
+	Undrain bool   `json:"undrain,omitempty"`
+}

@@ -1,0 +1,60 @@
+package dserve
+
+// Distributed-tier metric catalogues. Router counters live in the
+// router's own serve.Metrics catalogue (rendered at the router's
+// /metrics); worker counters are registered into the wrapped
+// serve.Server's catalogue, so one scrape of a worker's /metrics covers
+// both its serving and its distributed-tier behavior. All names are
+// documented in METRICS.md ("Distributed serving metrics") and referenced
+// by the OPERATIONS.md troubleshooting table; the lintdoc staleness
+// linter enumerates them through RouterMetricNames and WorkerMetricNames.
+
+// routerCounters, in the order the router's /metrics renders them.
+var routerCounters = []string{
+	"router_query_requests",    // /v1/query requests reaching the router
+	"router_mutate_requests",   // /v1/mutate requests reaching the router
+	"router_stream_requests",   // /v1/stream requests reaching the router
+	"router_proxy_errors",      // upstream attempts failed (transport error or 5xx)
+	"router_retries",           // attempts re-sent to the next replica after a failure
+	"router_no_replica",        // requests answered 503: no healthy replica for the graph
+	"router_exhausted",         // requests answered 502: every attempted replica failed
+	"router_mutate_partial",    // write fan-outs applied on only a subset of replicas
+	"router_registrations",     // worker registrations and heartbeats accepted
+	"router_probe_failures",    // health probes failed
+	"router_worker_ejected",    // workers ejected after FailAfter consecutive failures
+	"router_worker_readmitted", // ejected workers readmitted by a passing probe or heartbeat
+}
+
+// routerHistograms are the router-side request latency distributions
+// (microseconds, inclusive of upstream time and retries).
+var routerHistograms = []string{
+	"router_query_latency_us",
+	"router_mutate_latency_us",
+	"router_stream_latency_us",
+}
+
+// workerCounters are registered into the wrapped serve.Server's metrics.
+var workerCounters = []string{
+	"worker_register_attempts",    // registration/heartbeat posts attempted
+	"worker_registered",           // registrations acknowledged by the router
+	"worker_register_errors",      // registration posts that failed
+	"worker_snapshot_saves",       // snapshots persisted to the snapshot directory
+	"worker_snapshot_save_errors", // snapshot persists that failed
+	"worker_snapshot_served",      // GET /internal/snapshot fetches answered to peers
+	"worker_snapshot_restores",    // snapshots adopted (local file or peer fetch)
+	"worker_snapshot_stale",       // snapshots skipped as older than resident state
+	"worker_snapshot_fetch_errors", // peer snapshot fetches that failed
+}
+
+// RouterMetricNames lists every metric a Router can emit; the METRICS.md
+// staleness linter checks the doc against it.
+func RouterMetricNames() []string {
+	out := append([]string(nil), routerCounters...)
+	return append(out, routerHistograms...)
+}
+
+// WorkerMetricNames lists every metric a Worker adds to its serve.Server's
+// catalogue.
+func WorkerMetricNames() []string {
+	return append([]string(nil), workerCounters...)
+}

@@ -1,0 +1,815 @@
+package dserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphpulse/internal/serve"
+)
+
+// Body caps for proxied requests. Queries and mutations mirror the worker
+// caps; stream bodies are buffered in full so they can be replayed to
+// every replica, so the router's stream cap is deliberately tighter than
+// a single worker's — split bulk loads into multiple requests.
+const (
+	maxRouterQueryBody  = 1 << 20  // 1 MiB
+	maxRouterMutateBody = 64 << 20 // 64 MiB
+	maxRouterStreamBody = 32 << 20 // 32 MiB, buffered for fan-out replay
+	maxProxyRespBody    = 64 << 20
+)
+
+// RouterConfig describes a Router. The zero value of every field except
+// Workers is replaced by the documented default.
+type RouterConfig struct {
+	// Workers seeds the worker table with advertised base URLs (e.g.
+	// "http://127.0.0.1:8081"). Workers may also join dynamically via
+	// POST /internal/register; a seed worker is assumed to host every
+	// graph until its first registration says otherwise.
+	Workers []string
+	// Replication is how many workers own each graph (default 1). Values
+	// below 1 mean 1; values at or above the worker count replicate to
+	// every worker (full read fan-out — the hot-graph configuration).
+	Replication int
+	// VirtualNodes is the consistent-hash ring's virtual-node count per
+	// worker (default 64).
+	VirtualNodes int
+	// ProbeInterval is the health-probe period for healthy workers
+	// (default 1s). Ejected workers are probed on their backoff schedule.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// FailAfter is how many consecutive failures (probes or request-path
+	// attempts) eject a worker (default 2).
+	FailAfter int
+	// RetryBudget is how many additional replicas a read is retried on
+	// after a failed attempt (default 2).
+	RetryBudget int
+	// BackoffBase and BackoffMax bound the ejected-worker re-probe
+	// backoff: base, 2×base, 4×base, … capped at max (defaults 500ms, 15s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Client overrides the proxy HTTP client (default: 30s timeout).
+	Client *http.Client
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Replication < 1 {
+		c.Replication = 1
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.RetryBudget < 0 {
+		c.RetryBudget = 0
+	} else if c.RetryBudget == 0 {
+		c.RetryBudget = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 500 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 15 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// workerEntry is the router's live view of one worker.
+type workerEntry struct {
+	url      string
+	graphs   map[string]bool // nil = unregistered seed, assumed to host everything
+	healthy  bool
+	draining bool
+	fails    int
+	backoff  time.Duration
+	nextDue  time.Time
+	lastErr  string
+}
+
+func (w *workerEntry) hosts(graph string) bool {
+	return w.graphs == nil || w.graphs[graph]
+}
+
+// Router is the stateless front of the distributed serving tier: it owns
+// no graph state, only the (rebuildable) worker table, and proxies the
+// /v1/* API onto consistent-hash replica sets with health-checked
+// failover. Create with NewRouter, expose with Handler or Start, stop
+// with Shutdown.
+type Router struct {
+	cfg     RouterConfig
+	metrics *serve.Metrics
+
+	mu       sync.Mutex
+	ring     *Ring
+	workers  map[string]*workerEntry
+	graphMus map[string]*sync.Mutex // per-graph write-fan-out serialization
+
+	rr   atomic.Uint64 // read-rotation cursor
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+
+	srvMu   sync.Mutex
+	httpSrv *http.Server
+}
+
+// NewRouter builds a Router, seeds its worker table, and starts the
+// health prober.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:      cfg,
+		metrics:  serve.NewMetricsCatalog(routerCounters, routerHistograms),
+		ring:     NewRing(cfg.VirtualNodes),
+		workers:  make(map[string]*workerEntry),
+		graphMus: make(map[string]*sync.Mutex),
+		stop:     make(chan struct{}),
+	}
+	for _, raw := range cfg.Workers {
+		u, err := normalizeWorkerURL(raw)
+		if err != nil {
+			return nil, fmt.Errorf("dserve: bad worker %q: %w", raw, err)
+		}
+		rt.addWorkerLocked(u, nil)
+	}
+	rt.wg.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// normalizeWorkerURL canonicalizes an advertised worker URL: scheme
+// defaults to http, trailing slashes are dropped, and a host must be
+// present.
+func normalizeWorkerURL(raw string) (string, error) {
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", err
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("missing host")
+	}
+	return strings.TrimRight(u.Scheme+"://"+u.Host+u.Path, "/"), nil
+}
+
+// addWorkerLocked inserts or updates a worker. Callers hold rt.mu or are
+// in single-threaded construction.
+func (rt *Router) addWorkerLocked(u string, graphs []string) *workerEntry {
+	w, ok := rt.workers[u]
+	if !ok {
+		w = &workerEntry{url: u, healthy: true}
+		rt.workers[u] = w
+		rt.ring.Add(u)
+	}
+	if graphs != nil {
+		set := make(map[string]bool, len(graphs))
+		for _, g := range graphs {
+			set[g] = true
+		}
+		w.graphs = set
+	}
+	return w
+}
+
+// Metrics returns the router's live metrics.
+func (rt *Router) Metrics() *serve.Metrics { return rt.metrics }
+
+// Workers reports the router's current view of the fleet, sorted by URL.
+func (rt *Router) Workers() []WorkerInfo {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(rt.workers))
+	for _, w := range rt.workers {
+		info := WorkerInfo{
+			URL: w.url, Healthy: w.healthy, Draining: w.draining,
+			Fails: w.fails, LastErr: w.lastErr,
+		}
+		if w.graphs != nil {
+			for g := range w.graphs {
+				info.Graphs = append(info.Graphs, g)
+			}
+			sort.Strings(info.Graphs)
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// replicaSet returns the graph's replica set in ring order (stable under
+// health changes) and the healthy, non-draining subset of it.
+func (rt *Router) replicaSet(graph string) (all, healthy []string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, u := range rt.ring.Lookup(graph, 0) {
+		w := rt.workers[u]
+		if w == nil || !w.hosts(graph) {
+			continue
+		}
+		all = append(all, u)
+		if len(all) >= rt.cfg.Replication {
+			break
+		}
+	}
+	for _, u := range all {
+		if w := rt.workers[u]; w != nil && w.healthy && !w.draining {
+			healthy = append(healthy, u)
+		}
+	}
+	return all, healthy
+}
+
+// markFailed records a request-path failure against a worker, ejecting it
+// once it reaches FailAfter consecutive failures.
+func (rt *Router) markFailed(u string, err string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	w, ok := rt.workers[u]
+	if !ok {
+		return
+	}
+	w.fails++
+	w.lastErr = err
+	if w.healthy && w.fails >= rt.cfg.FailAfter {
+		w.healthy = false
+		w.backoff = rt.cfg.BackoffBase
+		w.nextDue = time.Now().Add(w.backoff)
+		rt.metrics.Add("router_worker_ejected", 1)
+		rt.logf("dserve: router: ejected worker %s after %d failures (%s)", u, w.fails, err)
+	}
+}
+
+// markHealthy records a success (probe or registration heartbeat),
+// readmitting an ejected worker.
+func (rt *Router) markHealthy(u string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	w, ok := rt.workers[u]
+	if !ok {
+		return
+	}
+	if !w.healthy {
+		rt.metrics.Add("router_worker_readmitted", 1)
+		rt.logf("dserve: router: readmitted worker %s", u)
+	}
+	w.healthy = true
+	w.fails = 0
+	w.backoff = 0
+	w.lastErr = ""
+	w.nextDue = time.Now().Add(rt.cfg.ProbeInterval)
+}
+
+// probeLoop drives the health prober: healthy workers on ProbeInterval,
+// ejected ones on their exponential backoff.
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	tick := time.NewTicker(minDuration(rt.cfg.ProbeInterval/2, 250*time.Millisecond))
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		rt.mu.Lock()
+		var due []string
+		for u, w := range rt.workers {
+			if !w.nextDue.After(now) {
+				due = append(due, u)
+			}
+		}
+		rt.mu.Unlock()
+		for _, u := range due {
+			rt.probeOne(u)
+		}
+	}
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a > 0 && a < b {
+		return a
+	}
+	return b
+}
+
+// probeOne health-checks one worker and updates its state.
+func (rt *Router) probeOne(u string) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+"/healthz", nil)
+	if err != nil {
+		rt.recordProbeFailure(u, err.Error())
+		return
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		rt.recordProbeFailure(u, err.Error())
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		rt.recordProbeFailure(u, fmt.Sprintf("healthz status %d", resp.StatusCode))
+		return
+	}
+	rt.markHealthy(u)
+}
+
+// recordProbeFailure advances a worker's failure state: healthy workers
+// count toward ejection, ejected ones double their re-probe backoff.
+func (rt *Router) recordProbeFailure(u, errStr string) {
+	rt.metrics.Add("router_probe_failures", 1)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	w, ok := rt.workers[u]
+	if !ok {
+		return
+	}
+	w.fails++
+	w.lastErr = errStr
+	switch {
+	case w.healthy && w.fails >= rt.cfg.FailAfter:
+		w.healthy = false
+		w.backoff = rt.cfg.BackoffBase
+		rt.metrics.Add("router_worker_ejected", 1)
+		rt.logf("dserve: router: ejected worker %s after %d failed probes (%s)", u, w.fails, errStr)
+	case !w.healthy:
+		w.backoff *= 2
+		if w.backoff > rt.cfg.BackoffMax {
+			w.backoff = rt.cfg.BackoffMax
+		}
+	}
+	if w.healthy {
+		w.nextDue = time.Now().Add(rt.cfg.ProbeInterval)
+	} else {
+		w.nextDue = time.Now().Add(w.backoff)
+	}
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.cfg.Logf != nil {
+		rt.cfg.Logf(format, args...)
+	}
+}
+
+// Handler returns the router's HTTP routing table: the worker-compatible
+// /v1/* surface plus the control-plane /internal/* endpoints.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", rt.handleQuery)
+	mux.HandleFunc("POST /v1/mutate", rt.handleMutate)
+	mux.HandleFunc("POST /v1/stream", rt.handleStream)
+	mux.HandleFunc("GET /v1/graphs", rt.handleGraphs)
+	mux.HandleFunc("POST /internal/register", rt.handleRegister)
+	mux.HandleFunc("GET /internal/workers", rt.handleWorkers)
+	mux.HandleFunc("POST /internal/drain", rt.handleDrain)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, rt.metrics.Render())
+	})
+	return mux
+}
+
+// Start opens a listener on addr ("" or host:0 pick a free port), serves
+// Handler on it in the background, and returns the bound address.
+func (rt *Router) Start(addr string) (net.Addr, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	rt.srvMu.Lock()
+	rt.httpSrv = srv
+	rt.srvMu.Unlock()
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			rt.logf("dserve: router http server: %v", err)
+		}
+	}()
+	rt.logf("dserve: router listening on %s", ln.Addr())
+	return ln.Addr(), nil
+}
+
+// Shutdown stops the listener (draining in-flight requests, bounded by
+// ctx) and the health prober.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	var err error
+	rt.srvMu.Lock()
+	srv := rt.httpSrv
+	rt.srvMu.Unlock()
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	rt.once.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(buf, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, serve.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readBody slurps a bounded request body.
+func readBody(w http.ResponseWriter, r *http.Request, cap int64) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, cap))
+}
+
+// graphOf extracts the routing key from a /v1/query or /v1/mutate body.
+func graphOf(body []byte) (string, error) {
+	var probe struct {
+		Graph string `json:"graph"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return "", err
+	}
+	if probe.Graph == "" {
+		return "", fmt.Errorf("missing graph")
+	}
+	return probe.Graph, nil
+}
+
+// attempt is one upstream proxy attempt's outcome.
+type attempt struct {
+	status int
+	header http.Header
+	body   []byte
+	err    error
+}
+
+// retryable reports whether the outcome should be retried on the next
+// replica: transport failures and 5xx responses, except 504 — the
+// worker's own deadline verdict, which a retry would only double-spend.
+func (a attempt) retryable() bool {
+	if a.err != nil {
+		return true
+	}
+	return a.status >= 500 && a.status != http.StatusGatewayTimeout &&
+		a.status != http.StatusNotImplemented
+}
+
+// forward posts body to one worker and slurps the response.
+func (rt *Router) forward(workerURL, pathAndQuery, contentType string, body []byte) attempt {
+	resp, err := rt.cfg.Client.Post(workerURL+pathAndQuery, contentType, bytes.NewReader(body))
+	if err != nil {
+		return attempt{err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyRespBody))
+	if err != nil {
+		return attempt{err: err}
+	}
+	return attempt{status: resp.StatusCode, header: resp.Header, body: data}
+}
+
+// relay copies an upstream response to the client.
+func relay(w http.ResponseWriter, a attempt) {
+	if ct := a.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := a.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(a.status)
+	w.Write(a.body)
+}
+
+// handleQuery proxies a read: rotate across the graph's healthy replicas,
+// retrying a failed attempt on the next replica within the retry budget.
+// The client sees exactly one answer — retries are absorbed here.
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rt.metrics.Add("router_query_requests", 1)
+	defer func() {
+		rt.metrics.Observe("router_query_latency_us", time.Since(start).Microseconds())
+	}()
+	body, err := readBody(w, r, maxRouterQueryBody)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read query body: %v", err)
+		return
+	}
+	graph, err := graphOf(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad query body: %v", err)
+		return
+	}
+	_, healthy := rt.replicaSet(graph)
+	if len(healthy) == 0 {
+		rt.metrics.Add("router_no_replica", 1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no healthy replica for graph %q", graph)
+		return
+	}
+	attempts := rt.cfg.RetryBudget + 1
+	if attempts > len(healthy) {
+		attempts = len(healthy)
+	}
+	offset := int(rt.rr.Add(1))
+	var last attempt
+	for i := 0; i < attempts; i++ {
+		target := healthy[(offset+i)%len(healthy)]
+		if i > 0 {
+			rt.metrics.Add("router_retries", 1)
+		}
+		last = rt.forward(target, "/v1/query", "application/json", body)
+		if !last.retryable() {
+			relay(w, last)
+			return
+		}
+		rt.metrics.Add("router_proxy_errors", 1)
+		rt.markFailed(target, attemptError(last))
+	}
+	rt.metrics.Add("router_exhausted", 1)
+	writeError(w, http.StatusBadGateway, "all %d attempted replicas failed for graph %q: %s",
+		attempts, graph, attemptError(last))
+}
+
+func attemptError(a attempt) string {
+	if a.err != nil {
+		return a.err.Error()
+	}
+	return fmt.Sprintf("upstream status %d", a.status)
+}
+
+// graphMu returns the per-graph write-serialization lock.
+func (rt *Router) graphMu(graph string) *sync.Mutex {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	m, ok := rt.graphMus[graph]
+	if !ok {
+		m = &sync.Mutex{}
+		rt.graphMus[graph] = m
+	}
+	return m
+}
+
+// fanoutWrite applies one write to every replica of the graph,
+// sequentially and under the graph's write lock so all replicas see
+// mutation epochs in the same order. The first success is relayed to the
+// client; a definitive upstream rejection (4xx) is relayed immediately —
+// rejections are deterministic, so no replica applied it.
+func (rt *Router) fanoutWrite(w http.ResponseWriter, graph, pathAndQuery, contentType string, body []byte) {
+	all, _ := rt.replicaSet(graph)
+	if len(all) == 0 {
+		rt.metrics.Add("router_no_replica", 1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no replica for graph %q", graph)
+		return
+	}
+	mu := rt.graphMu(graph)
+	mu.Lock()
+	defer mu.Unlock()
+
+	var firstOK *attempt
+	okCount, failCount := 0, 0
+	var last attempt
+	for _, target := range all {
+		a := rt.forward(target, pathAndQuery, contentType, body)
+		switch {
+		case a.err == nil && a.status < 400:
+			okCount++
+			if firstOK == nil {
+				cp := a
+				firstOK = &cp
+			}
+			rt.markHealthy(target)
+		case a.err == nil && a.status < 500:
+			// Deterministic rejection (bad batch, unknown graph on this
+			// worker, backpressure): relay as-is. 429s are per-worker
+			// backpressure — surface them rather than best-effort applying
+			// to a subset, which would silently diverge the replicas.
+			relay(w, a)
+			if okCount > 0 {
+				rt.metrics.Add("router_mutate_partial", 1)
+			}
+			return
+		default:
+			failCount++
+			last = a
+			rt.metrics.Add("router_proxy_errors", 1)
+			rt.markFailed(target, attemptError(a))
+		}
+	}
+	if firstOK == nil {
+		rt.metrics.Add("router_exhausted", 1)
+		writeError(w, http.StatusBadGateway, "write failed on all %d replicas of graph %q: %s",
+			len(all), graph, attemptError(last))
+		return
+	}
+	if failCount > 0 {
+		// Applied on a subset: the failed replicas resynchronize via
+		// snapshot when they rejoin (OPERATIONS.md "Troubleshooting").
+		rt.metrics.Add("router_mutate_partial", 1)
+	}
+	relay(w, *firstOK)
+}
+
+func (rt *Router) handleMutate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rt.metrics.Add("router_mutate_requests", 1)
+	defer func() {
+		rt.metrics.Observe("router_mutate_latency_us", time.Since(start).Microseconds())
+	}()
+	body, err := readBody(w, r, maxRouterMutateBody)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read mutate body: %v", err)
+		return
+	}
+	graph, err := graphOf(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad mutate body: %v", err)
+		return
+	}
+	rt.fanoutWrite(w, graph, "/v1/mutate", "application/json", body)
+}
+
+func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rt.metrics.Add("router_stream_requests", 1)
+	defer func() {
+		rt.metrics.Observe("router_stream_latency_us", time.Since(start).Microseconds())
+	}()
+	graph := r.URL.Query().Get("graph")
+	if graph == "" {
+		writeError(w, http.StatusBadRequest, "missing ?graph=name")
+		return
+	}
+	body, err := readBody(w, r, maxRouterStreamBody)
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"stream body exceeds the router's %d MiB fan-out buffer (split the load, or stream workers directly): %v",
+			maxRouterStreamBody>>20, err)
+		return
+	}
+	rt.fanoutWrite(w, graph, "/v1/stream?graph="+url.QueryEscape(graph), "application/x-ndjson", body)
+}
+
+// handleGraphs merges the inventories of every healthy worker: one row
+// per graph name, keeping the highest epoch seen (replicas briefly
+// diverge while a mutation fans out).
+func (rt *Router) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	var healthy []string
+	for u, we := range rt.workers {
+		if we.healthy && !we.draining {
+			healthy = append(healthy, u)
+		}
+	}
+	rt.mu.Unlock()
+	sort.Strings(healthy)
+	merged := make(map[string]serve.GraphInfo)
+	for _, u := range healthy {
+		resp, err := rt.cfg.Client.Get(u + "/v1/graphs")
+		if err != nil {
+			rt.metrics.Add("router_proxy_errors", 1)
+			rt.markFailed(u, err.Error())
+			continue
+		}
+		var infos []serve.GraphInfo
+		err = json.NewDecoder(io.LimitReader(resp.Body, maxProxyRespBody)).Decode(&infos)
+		resp.Body.Close()
+		if err != nil {
+			rt.metrics.Add("router_proxy_errors", 1)
+			rt.markFailed(u, err.Error())
+			continue
+		}
+		for _, in := range infos {
+			if cur, ok := merged[in.Name]; !ok || in.Epoch > cur.Epoch {
+				merged[in.Name] = in
+			}
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for n := range merged {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]serve.GraphInfo, 0, len(names))
+	for _, n := range names {
+		out = append(out, merged[n])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleRegister admits a worker announcing itself (or heartbeating). The
+// response lists, per registered graph, the other healthy workers hosting
+// it — the rejoiner's snapshot sources.
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad register body: %v", err)
+		return
+	}
+	u, err := normalizeWorkerURL(req.URL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad worker url %q: %v", req.URL, err)
+		return
+	}
+	if len(req.Graphs) == 0 {
+		writeError(w, http.StatusBadRequest, "registration must list hosted graphs")
+		return
+	}
+	rt.metrics.Add("router_registrations", 1)
+	rt.mu.Lock()
+	we := rt.addWorkerLocked(u, req.Graphs)
+	if !we.healthy {
+		rt.metrics.Add("router_worker_readmitted", 1)
+	}
+	we.healthy = true
+	we.draining = false
+	we.fails = 0
+	we.backoff = 0
+	we.lastErr = ""
+	we.nextDue = time.Now().Add(rt.cfg.ProbeInterval)
+	resp := RegisterResponse{Peers: make(map[string][]string, len(req.Graphs))}
+	for _, g := range req.Graphs {
+		var peers []string
+		for pu, pw := range rt.workers {
+			if pu != u && pw.healthy && !pw.draining && pw.hosts(g) {
+				peers = append(peers, pu)
+			}
+		}
+		sort.Strings(peers)
+		resp.Peers[g] = peers
+	}
+	rt.mu.Unlock()
+	rt.logf("dserve: router: registered worker %s (graphs %v)", u, req.Graphs)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Workers())
+}
+
+// handleDrain cordons (or readmits) a worker: a draining worker keeps its
+// registration but receives no new traffic, so it can be SIGTERMed once
+// its in-flight requests finish — the runbook's safe-restart path.
+func (rt *Router) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var req DrainRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad drain body: %v", err)
+		return
+	}
+	u, err := normalizeWorkerURL(req.URL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad worker url %q: %v", req.URL, err)
+		return
+	}
+	rt.mu.Lock()
+	we, ok := rt.workers[u]
+	if ok {
+		we.draining = !req.Undrain
+	}
+	rt.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown worker %q", u)
+		return
+	}
+	rt.logf("dserve: router: worker %s draining=%v", u, !req.Undrain)
+	writeJSON(w, http.StatusOK, rt.Workers())
+}

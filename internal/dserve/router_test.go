@@ -1,0 +1,353 @@
+package dserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/serve"
+)
+
+// newServeNode boots one real single-process server over the suite's
+// deterministic test graph and exposes it via httptest.
+func newServeNode(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	g, err := gen.ErdosRenyi(200, 900, true, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{
+		Graphs:         []serve.GraphSpec{{Name: "g", Graph: g}},
+		DefaultTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func newTestRouter(t *testing.T, cfg RouterConfig) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx)
+	})
+	return rt, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func queryVia(t *testing.T, baseURL string) (*serve.QueryResponse, int) {
+	t.Helper()
+	code, body := postJSON(t, baseURL+"/v1/query", serve.QueryRequest{
+		Graph: "g", Algorithm: "pr", Top: 1,
+	})
+	if code != http.StatusOK {
+		return nil, code
+	}
+	var out serve.QueryResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("query response: %v (%s)", err, body)
+	}
+	return &out, code
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRouterProxyAndWriteFanout drives the core data path: queries proxy
+// to a replica; a mutation through the router lands on every replica
+// (same epoch on both workers); /v1/graphs merges the fleet's inventory.
+func TestRouterProxyAndWriteFanout(t *testing.T) {
+	sA, tsA := newServeNode(t)
+	sB, tsB := newServeNode(t)
+	_, rts := newTestRouter(t, RouterConfig{
+		Workers:     []string{tsA.URL, tsB.URL},
+		Replication: 2,
+	})
+
+	resp, code := queryVia(t, rts.URL)
+	if code != http.StatusOK || resp == nil {
+		t.Fatalf("query via router: HTTP %d", code)
+	}
+	if resp.Graph != "g" {
+		t.Fatalf("query answered for graph %q", resp.Graph)
+	}
+
+	code, body := postJSON(t, rts.URL+"/v1/mutate", serve.MutateRequest{
+		Graph: "g", Edges: []serve.EdgeJSON{{Src: 0, Dst: 150, Weight: 0.7}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("mutate via router: HTTP %d: %s", code, body)
+	}
+	for i, s := range []*serve.Server{sA, sB} {
+		epoch, err := s.GraphEpoch("g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch != 1 {
+			t.Errorf("worker %d epoch = %d, want 1 (write did not fan out)", i, epoch)
+		}
+	}
+
+	gresp, err := http.Get(rts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gresp.Body.Close()
+	var infos []serve.GraphInfo
+	if err := json.NewDecoder(gresp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "g" || infos[0].Epoch != 1 {
+		t.Fatalf("merged inventory = %+v, want one row for g at epoch 1", infos)
+	}
+}
+
+// flakyWorker answers health probes but kills every /v1/query — the
+// "worker dies mid-query" shape the failover path must absorb.
+func flakyWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Fatal("httptest response is not hijackable")
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close() // mid-request connection drop
+		}
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRouterFailoverRetry pins the retry contract: with one replica
+// dropping connections mid-query, every client query still gets exactly
+// one 200 answer — the retries land on the live replica and are absorbed
+// inside the router.
+func TestRouterFailoverRetry(t *testing.T) {
+	_, live := newServeNode(t)
+	flaky := flakyWorker(t)
+	rt, rts := newTestRouter(t, RouterConfig{
+		Workers:     []string{live.URL, flaky.URL},
+		Replication: 2,
+		RetryBudget: 2,
+		FailAfter:   100, // keep the flaky worker in rotation for the whole test
+	})
+
+	for i := 0; i < 8; i++ {
+		resp, code := queryVia(t, rts.URL)
+		if code != http.StatusOK || resp == nil {
+			t.Fatalf("query %d: HTTP %d, want every query answered despite the flaky replica", i, code)
+		}
+	}
+	if rt.Metrics().Counter("router_retries") == 0 {
+		t.Error("no retries recorded; rotation never hit the flaky replica")
+	}
+	if rt.Metrics().Counter("router_proxy_errors") == 0 {
+		t.Error("no proxy errors recorded")
+	}
+}
+
+// TestRouterEjectionAndReadmission drives a worker through the health
+// lifecycle: consecutive probe failures eject it, a passing probe after
+// backoff readmits it.
+func TestRouterEjectionAndReadmission(t *testing.T) {
+	var failing atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			http.Error(w, "sick", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	rt, _ := newTestRouter(t, RouterConfig{
+		Workers:       []string{ts.URL},
+		ProbeInterval: 25 * time.Millisecond,
+		FailAfter:     2,
+		BackoffBase:   20 * time.Millisecond,
+		BackoffMax:    50 * time.Millisecond,
+	})
+
+	healthy := func() bool {
+		ws := rt.Workers()
+		return len(ws) == 1 && ws[0].Healthy
+	}
+	waitFor(t, "initial healthy state", 2*time.Second, healthy)
+
+	failing.Store(true)
+	waitFor(t, "ejection", 5*time.Second, func() bool { return !healthy() })
+	if rt.Metrics().Counter("router_worker_ejected") == 0 {
+		t.Error("ejection not counted")
+	}
+
+	failing.Store(false)
+	waitFor(t, "readmission", 5*time.Second, healthy)
+	if rt.Metrics().Counter("router_worker_readmitted") == 0 {
+		t.Error("readmission not counted")
+	}
+}
+
+// TestRouterNoReplica pins the empty-fleet answer: 503 with Retry-After,
+// not a hang or a 500.
+func TestRouterNoReplica(t *testing.T) {
+	rt, rts := newTestRouter(t, RouterConfig{})
+	code, _ := postJSON(t, rts.URL+"/v1/query", serve.QueryRequest{Graph: "g", Algorithm: "pr"})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("empty fleet query: HTTP %d, want 503", code)
+	}
+	if rt.Metrics().Counter("router_no_replica") == 0 {
+		t.Error("router_no_replica not counted")
+	}
+}
+
+// TestRouterRegistrationAndDrain exercises the control plane: dynamic
+// registration populates the fleet and returns peers, draining cordons a
+// worker, undraining restores it.
+func TestRouterRegistrationAndDrain(t *testing.T) {
+	_, tsA := newServeNode(t)
+	_, tsB := newServeNode(t)
+	rt, rts := newTestRouter(t, RouterConfig{Replication: 2})
+
+	code, body := postJSON(t, rts.URL+"/internal/register", RegisterRequest{URL: tsA.URL, Graphs: []string{"g"}})
+	if code != http.StatusOK {
+		t.Fatalf("register A: HTTP %d: %s", code, body)
+	}
+	var ack RegisterResponse
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if len(ack.Peers["g"]) != 0 {
+		t.Fatalf("first worker sees peers %v, want none", ack.Peers["g"])
+	}
+
+	code, body = postJSON(t, rts.URL+"/internal/register", RegisterRequest{URL: tsB.URL, Graphs: []string{"g"}})
+	if code != http.StatusOK {
+		t.Fatalf("register B: HTTP %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if len(ack.Peers["g"]) != 1 || ack.Peers["g"][0] != tsA.URL {
+		t.Fatalf("second worker peers = %v, want [%s]", ack.Peers["g"], tsA.URL)
+	}
+	if got := len(rt.Workers()); got != 2 {
+		t.Fatalf("fleet size = %d, want 2", got)
+	}
+
+	// Bad registrations are rejected.
+	if code, _ := postJSON(t, rts.URL+"/internal/register", RegisterRequest{URL: tsA.URL}); code != http.StatusBadRequest {
+		t.Errorf("graphless registration: HTTP %d, want 400", code)
+	}
+
+	// Drain both workers: reads have nowhere to go.
+	for _, u := range []string{tsA.URL, tsB.URL} {
+		if code, body := postJSON(t, rts.URL+"/internal/drain", DrainRequest{URL: u}); code != http.StatusOK {
+			t.Fatalf("drain %s: HTTP %d: %s", u, code, body)
+		}
+	}
+	if _, code := queryVia(t, rts.URL); code != http.StatusServiceUnavailable {
+		t.Fatalf("query against fully drained fleet: HTTP %d, want 503", code)
+	}
+
+	// Undrain one: queries flow again.
+	if code, body := postJSON(t, rts.URL+"/internal/drain", DrainRequest{URL: tsA.URL, Undrain: true}); code != http.StatusOK {
+		t.Fatalf("undrain: HTTP %d: %s", code, body)
+	}
+	if resp, code := queryVia(t, rts.URL); code != http.StatusOK || resp == nil {
+		t.Fatalf("query after undrain: HTTP %d, want 200", code)
+	}
+
+	// Draining an unknown worker is a 404.
+	if code, _ := postJSON(t, rts.URL+"/internal/drain", DrainRequest{URL: "http://127.0.0.1:1"}); code != http.StatusNotFound {
+		t.Errorf("drain of unknown worker: HTTP %d, want 404", code)
+	}
+}
+
+// TestRouterStreamFanout checks NDJSON bulk ingestion through the router
+// reaches every replica.
+func TestRouterStreamFanout(t *testing.T) {
+	sA, tsA := newServeNode(t)
+	sB, tsB := newServeNode(t)
+	_, rts := newTestRouter(t, RouterConfig{
+		Workers:     []string{tsA.URL, tsB.URL},
+		Replication: 2,
+	})
+	body := bytes.NewBufferString(`{"src":1,"dst":180,"weight":0.5}` + "\n" + `{"src":2,"dst":181,"weight":0.6}` + "\n")
+	resp, err := http.Post(rts.URL+"/v1/stream?graph=g", "application/x-ndjson", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream via router: HTTP %d", resp.StatusCode)
+	}
+	for i, s := range []*serve.Server{sA, sB} {
+		epoch, err := s.GraphEpoch("g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch == 0 {
+			t.Errorf("worker %d epoch still 0 after stream fan-out", i)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package dserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"graphpulse/internal/atomicio"
+	"graphpulse/internal/serve"
+)
+
+// WorkerConfig describes a Worker wrapping one serve.Server.
+type WorkerConfig struct {
+	// Server is the wrapped single-process serving instance. Required.
+	Server *serve.Server
+	// RouterURL is the router's base URL. Empty runs the worker standalone:
+	// no registration, no peer sync, but local snapshot persist/restore
+	// still works.
+	RouterURL string
+	// Advertise is the base URL peers and the router reach this worker at
+	// (e.g. "http://127.0.0.1:8081"). Required when RouterURL is set.
+	Advertise string
+	// SnapshotDir is where snapshots are persisted, one file per graph
+	// (<dir>/<graph>.snap.json, graph name path-escaped). Empty disables
+	// persistence.
+	SnapshotDir string
+	// SnapshotEvery is the persist period (default 30s).
+	SnapshotEvery time.Duration
+	// Heartbeat is the re-registration period (default 5s). Heartbeats keep
+	// a restarted router's worker table warm and double as a readmission
+	// signal after an ejection.
+	Heartbeat time.Duration
+	// Client overrides the HTTP client used for registration and peer
+	// snapshot fetches (default: 30s timeout).
+	Client *http.Client
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) withDefaults() (WorkerConfig, error) {
+	if c.Server == nil {
+		return c, fmt.Errorf("dserve: WorkerConfig.Server is required")
+	}
+	if c.RouterURL != "" {
+		u, err := normalizeWorkerURL(c.RouterURL)
+		if err != nil {
+			return c, fmt.Errorf("dserve: bad router url %q: %w", c.RouterURL, err)
+		}
+		c.RouterURL = u
+		if c.Advertise == "" {
+			return c, fmt.Errorf("dserve: Advertise is required when RouterURL is set")
+		}
+	}
+	if c.Advertise != "" {
+		u, err := normalizeWorkerURL(c.Advertise)
+		if err != nil {
+			return c, fmt.Errorf("dserve: bad advertise url %q: %w", c.Advertise, err)
+		}
+		c.Advertise = u
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 30 * time.Second
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 5 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c, nil
+}
+
+// Worker wraps a serve.Server with the distributed-tier duties:
+// registration heartbeats, snapshot persistence, the peer snapshot
+// endpoint, and warm restart from the newest local or peer snapshot.
+type Worker struct {
+	cfg WorkerConfig
+	srv *serve.Server
+}
+
+// NewWorker builds a Worker around cfg.Server and registers the worker_*
+// counters into the server's metrics catalogue, so one scrape of the
+// worker's /metrics covers both tiers.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Server.Metrics().Register(workerCounters, nil)
+	return &Worker{cfg: cfg, srv: cfg.Server}, nil
+}
+
+// Server returns the wrapped serve.Server.
+func (wk *Worker) Server() *serve.Server { return wk.srv }
+
+// Handler returns the worker's routing table: the wrapped server's full
+// /v1/* surface plus GET /internal/snapshot for peers.
+func (wk *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /internal/snapshot", wk.handleSnapshot)
+	mux.Handle("/", wk.srv.Handler())
+	return mux
+}
+
+// handleSnapshot serves the current snapshot of ?graph=name to a peer.
+func (wk *Worker) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("graph")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing ?graph=name")
+		return
+	}
+	snap, err := wk.srv.ExportSnapshot(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	wk.srv.Metrics().Add("worker_snapshot_served", 1)
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// snapshotPath is the on-disk location of one graph's snapshot.
+func (wk *Worker) snapshotPath(graph string) string {
+	return filepath.Join(wk.cfg.SnapshotDir, url.PathEscape(graph)+".snap.json")
+}
+
+// PersistSnapshots writes every resident graph's snapshot atomically to
+// SnapshotDir. A graph whose on-disk snapshot already matches the
+// resident epoch is skipped. No-op without a SnapshotDir.
+func (wk *Worker) PersistSnapshots() error {
+	if wk.cfg.SnapshotDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(wk.cfg.SnapshotDir, 0o755); err != nil {
+		wk.srv.Metrics().Add("worker_snapshot_save_errors", 1)
+		return err
+	}
+	var firstErr error
+	for _, name := range wk.srv.GraphNames() {
+		if err := wk.persistOne(name); err != nil {
+			wk.srv.Metrics().Add("worker_snapshot_save_errors", 1)
+			wk.logf("dserve: worker: persist snapshot of %q: %v", name, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+func (wk *Worker) persistOne(name string) error {
+	epoch, err := wk.srv.GraphEpoch(name)
+	if err != nil {
+		return err
+	}
+	path := wk.snapshotPath(name)
+	if onDisk, err := readSnapshotFile(path); err == nil && onDisk.Epoch == epoch {
+		return nil // already current
+	}
+	snap, err := wk.srv.ExportSnapshot(name)
+	if err != nil {
+		return err
+	}
+	err = atomicio.WriteFile(path, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(snap)
+	})
+	if err != nil {
+		return err
+	}
+	wk.srv.Metrics().Add("worker_snapshot_saves", 1)
+	return nil
+}
+
+func readSnapshotFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap serve.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// Snapshot aliases serve.Snapshot for readers of this package; the type
+// lives in serve so the single-process tier can export/import without
+// importing dserve.
+type Snapshot = serve.Snapshot
+
+// RestoreLocal adopts any on-disk snapshot newer than (or equal to) the
+// resident state, graph by graph. Call it before serving traffic: a
+// restarted worker comes back with its last persisted fixed points
+// instead of cold re-solving. Missing files and stale snapshots are
+// skipped silently (stale ones count worker_snapshot_stale); decode or
+// import failures are logged and skipped — a corrupt snapshot must not
+// block startup.
+func (wk *Worker) RestoreLocal() {
+	if wk.cfg.SnapshotDir == "" {
+		return
+	}
+	for _, name := range wk.srv.GraphNames() {
+		snap, err := readSnapshotFile(wk.snapshotPath(name))
+		if err != nil {
+			if !errors.Is(err, os.ErrNotExist) {
+				wk.logf("dserve: worker: read snapshot of %q: %v", name, err)
+			}
+			continue
+		}
+		wk.adoptSnapshot(snap, "local file")
+	}
+}
+
+// adoptSnapshot imports one snapshot, mapping the outcome onto metrics.
+func (wk *Worker) adoptSnapshot(snap *Snapshot, source string) bool {
+	err := wk.srv.ImportSnapshot(snap)
+	switch {
+	case err == nil:
+		wk.srv.Metrics().Add("worker_snapshot_restores", 1)
+		wk.logf("dserve: worker: restored graph %q at epoch %d from %s (%d series)",
+			snap.Graph, snap.Epoch, source, len(snap.Series))
+		return true
+	case errors.Is(err, serve.ErrSnapshotStale):
+		wk.srv.Metrics().Add("worker_snapshot_stale", 1)
+		return false
+	default:
+		wk.logf("dserve: worker: import snapshot of %q from %s: %v", snap.Graph, source, err)
+		return false
+	}
+}
+
+// register posts one registration (or heartbeat) to the router and
+// returns the acknowledged peer map.
+func (wk *Worker) register(ctx context.Context) (map[string][]string, error) {
+	wk.srv.Metrics().Add("worker_register_attempts", 1)
+	body, err := json.Marshal(RegisterRequest{URL: wk.cfg.Advertise, Graphs: wk.srv.GraphNames()})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		wk.cfg.RouterURL+"/internal/register", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := wk.cfg.Client.Do(req)
+	if err != nil {
+		wk.srv.Metrics().Add("worker_register_errors", 1)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		wk.srv.Metrics().Add("worker_register_errors", 1)
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("register: status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var ack RegisterResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ack); err != nil {
+		wk.srv.Metrics().Add("worker_register_errors", 1)
+		return nil, err
+	}
+	wk.srv.Metrics().Add("worker_registered", 1)
+	return ack.Peers, nil
+}
+
+// fetchPeerSnapshot pulls one graph's snapshot from a peer worker.
+func (wk *Worker) fetchPeerSnapshot(ctx context.Context, peer, graph string) (*Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		peer+"/internal/snapshot?graph="+url.QueryEscape(graph), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wk.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("peer %s: status %d", peer, resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxProxyRespBody)).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// syncFromPeers fetches each graph's snapshot from the first responsive
+// peer and adopts it if newer than the resident state — how a rejoining
+// worker catches up on the mutations it missed while down, without a
+// cold re-solve.
+func (wk *Worker) syncFromPeers(ctx context.Context, peers map[string][]string) {
+	for _, graph := range wk.srv.GraphNames() {
+		for _, peer := range peers[graph] {
+			snap, err := wk.fetchPeerSnapshot(ctx, peer, graph)
+			if err != nil {
+				wk.srv.Metrics().Add("worker_snapshot_fetch_errors", 1)
+				wk.logf("dserve: worker: fetch snapshot of %q from %s: %v", graph, peer, err)
+				continue
+			}
+			wk.adoptSnapshot(snap, "peer "+peer)
+			break // one responsive peer per graph is enough
+		}
+	}
+}
+
+// Run drives the worker's background duties until ctx is canceled:
+// register with the router (retrying until it answers), warm-sync each
+// graph from a registered peer, then heartbeat and persist snapshots on
+// their tickers. On shutdown it persists a final snapshot set so the
+// next start restores the freshest state. Run returns when ctx is done.
+func (wk *Worker) Run(ctx context.Context) {
+	if wk.cfg.RouterURL != "" {
+		peers := wk.registerUntilAck(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		wk.syncFromPeers(ctx, peers)
+	}
+	heartbeat := time.NewTicker(wk.cfg.Heartbeat)
+	defer heartbeat.Stop()
+	persist := time.NewTicker(wk.cfg.SnapshotEvery)
+	defer persist.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			if err := wk.PersistSnapshots(); err != nil {
+				wk.logf("dserve: worker: final snapshot persist: %v", err)
+			}
+			return
+		case <-heartbeat.C:
+			if wk.cfg.RouterURL != "" {
+				if _, err := wk.register(ctx); err != nil && ctx.Err() == nil {
+					wk.logf("dserve: worker: heartbeat: %v", err)
+				}
+			}
+		case <-persist.C:
+			wk.PersistSnapshots()
+		}
+	}
+}
+
+// registerUntilAck retries registration on the heartbeat period until the
+// router acknowledges or ctx ends.
+func (wk *Worker) registerUntilAck(ctx context.Context) map[string][]string {
+	for {
+		peers, err := wk.register(ctx)
+		if err == nil {
+			wk.logf("dserve: worker: registered %s with router %s", wk.cfg.Advertise, wk.cfg.RouterURL)
+			return peers
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		wk.logf("dserve: worker: register with %s: %v (retrying)", wk.cfg.RouterURL, err)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(wk.cfg.Heartbeat):
+		}
+	}
+}
+
+func (wk *Worker) logf(format string, args ...any) {
+	if wk.cfg.Logf != nil {
+		wk.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,191 @@
+package dserve
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/serve"
+)
+
+// newWorkerNode builds a serve.Server over the deterministic test graph,
+// wraps it in a Worker with the given config overrides, and serves the
+// worker handler (including /internal/snapshot) via httptest.
+func newWorkerNode(t *testing.T, mut func(*WorkerConfig)) (*Worker, *httptest.Server) {
+	t.Helper()
+	g, err := gen.ErdosRenyi(200, 900, true, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{
+		Graphs:         []serve.GraphSpec{{Name: "g", Graph: g}},
+		DefaultTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := WorkerConfig{Server: s}
+	if mut != nil {
+		mut(&cfg)
+	}
+	wk, err := NewWorker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(wk.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return wk, ts
+}
+
+// solveAndMutate pushes a worker's graph to epoch 1 with a cached pr
+// fixed point at that epoch, so its snapshot carries both.
+func solveAndMutate(t *testing.T, url string) *serve.QueryResponse {
+	t.Helper()
+	code, body := postJSON(t, url+"/v1/mutate", serve.MutateRequest{
+		Graph: "g", Edges: []serve.EdgeJSON{{Src: 3, Dst: 170, Weight: 0.4}},
+	})
+	if code != 200 {
+		t.Fatalf("mutate: HTTP %d: %s", code, body)
+	}
+	resp, code := queryVia(t, url)
+	if code != 200 || resp == nil {
+		t.Fatalf("query: HTTP %d", code)
+	}
+	return resp
+}
+
+// TestWorkerPersistAndRestoreLocal pins the warm-restart path: a worker
+// persists its snapshot, a fresh worker pointed at the same directory
+// restores it before serving, and the first query is a cache hit at the
+// persisted epoch — no cold re-solve.
+func TestWorkerPersistAndRestoreLocal(t *testing.T) {
+	dir := t.TempDir()
+	wk1, ts1 := newWorkerNode(t, func(c *WorkerConfig) { c.SnapshotDir = dir })
+	solveAndMutate(t, ts1.URL)
+	if err := wk1.PersistSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	if wk1.Server().Metrics().Counter("worker_snapshot_saves") != 1 {
+		t.Fatal("persist not counted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "g.snap.json")); err != nil {
+		t.Fatalf("snapshot file missing: %v", err)
+	}
+	// A second persist at the same epoch is skipped (file already current).
+	if err := wk1.PersistSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	if got := wk1.Server().Metrics().Counter("worker_snapshot_saves"); got != 1 {
+		t.Fatalf("unchanged state persisted again (saves=%d)", got)
+	}
+
+	wk2, ts2 := newWorkerNode(t, func(c *WorkerConfig) { c.SnapshotDir = dir })
+	wk2.RestoreLocal()
+	if wk2.Server().Metrics().Counter("worker_snapshot_restores") != 1 {
+		t.Fatal("restore not counted")
+	}
+	resp, code := queryVia(t, ts2.URL)
+	if code != 200 || resp == nil {
+		t.Fatalf("query after restore: HTTP %d", code)
+	}
+	if !resp.Cached || resp.Epoch != 1 {
+		t.Fatalf("restored query cached=%v epoch=%d, want cache hit at epoch 1", resp.Cached, resp.Epoch)
+	}
+	if n := wk2.Server().Metrics().Counter("query_cold_solves"); n != 0 {
+		t.Fatalf("restored worker cold-solved %d times, want 0", n)
+	}
+
+	// A corrupt snapshot file must not block startup.
+	wk3, ts3 := newWorkerNode(t, func(c *WorkerConfig) { c.SnapshotDir = t.TempDir() })
+	if err := os.WriteFile(filepath.Join(wk3.cfg.SnapshotDir, "g.snap.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wk3.RestoreLocal()
+	if resp, code := queryVia(t, ts3.URL); code != 200 || resp == nil {
+		t.Fatalf("query after corrupt-snapshot startup: HTTP %d", code)
+	}
+}
+
+// TestWorkerPeerSyncThroughRouter runs the full rejoin flow: worker A
+// registers and accumulates state; worker B registers later, learns A is
+// its peer from the registration ack, fetches A's snapshot over
+// /internal/snapshot, and serves A's epoch from cache without re-solving.
+func TestWorkerPeerSyncThroughRouter(t *testing.T) {
+	rt, rts := newTestRouter(t, RouterConfig{Replication: 2, ProbeInterval: 50 * time.Millisecond})
+
+	wkA, tsA := newWorkerNode(t, func(c *WorkerConfig) {
+		c.RouterURL = rts.URL
+		c.Advertise = "placeholder" // replaced below; httptest URL unknown at config time
+	})
+	wkA.cfg.Advertise = tsA.URL
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	doneA := make(chan struct{})
+	go func() { defer close(doneA); wkA.Run(ctxA) }()
+	waitFor(t, "worker A registration", 5*time.Second, func() bool {
+		ws := rt.Workers()
+		return len(ws) == 1 && ws[0].URL == tsA.URL
+	})
+	want := solveAndMutate(t, tsA.URL)
+
+	wkB, tsB := newWorkerNode(t, func(c *WorkerConfig) {
+		c.RouterURL = rts.URL
+		c.Advertise = "placeholder"
+	})
+	wkB.cfg.Advertise = tsB.URL
+	ctxB, cancelB := context.WithCancel(context.Background())
+	defer cancelB()
+	doneB := make(chan struct{})
+	go func() { defer close(doneB); wkB.Run(ctxB) }()
+
+	waitFor(t, "worker B peer sync", 5*time.Second, func() bool {
+		return wkB.Server().Metrics().Counter("worker_snapshot_restores") >= 1
+	})
+	resp, code := queryVia(t, tsB.URL)
+	if code != 200 || resp == nil {
+		t.Fatalf("query on rejoined worker: HTTP %d", code)
+	}
+	if !resp.Cached || resp.Epoch != want.Epoch {
+		t.Fatalf("rejoined worker cached=%v epoch=%d, want cache hit at epoch %d",
+			resp.Cached, resp.Epoch, want.Epoch)
+	}
+	if n := wkB.Server().Metrics().Counter("query_cold_solves"); n != 0 {
+		t.Fatalf("rejoined worker cold-solved %d times, want 0 (snapshot shipping failed)", n)
+	}
+
+	cancelA()
+	cancelB()
+	<-doneA
+	<-doneB
+}
+
+// TestWorkerConfigValidation pins the config contract.
+func TestWorkerConfigValidation(t *testing.T) {
+	if _, err := NewWorker(WorkerConfig{}); err == nil {
+		t.Error("nil Server accepted")
+	}
+	g, err := gen.ErdosRenyi(20, 40, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Graphs: []serve.GraphSpec{{Name: "g", Graph: g}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	if _, err := NewWorker(WorkerConfig{Server: s, RouterURL: "http://127.0.0.1:1"}); err == nil {
+		t.Error("router without advertise accepted")
+	}
+	if _, err := NewWorker(WorkerConfig{Server: s, RouterURL: "://bad", Advertise: "http://x:1"}); err == nil {
+		t.Error("malformed router url accepted")
+	}
+}

@@ -477,6 +477,23 @@ func (s Summary) TotalErrors() int64 {
 	return n
 }
 
+// Availability is the fraction of requests that did not hard-fail,
+// across every kind (1.0 for an empty run). Rejections (429) and
+// deadline expiries (504) count as available — they are the server
+// answering, not the tier losing the request. The CI dserve-smoke stage
+// gates on this while killing a worker mid-burst.
+func (s Summary) Availability() float64 {
+	var count, errs int64
+	for _, r := range s.Rows {
+		count += r.Count
+		errs += r.Errors
+	}
+	if count == 0 {
+		return 1.0
+	}
+	return float64(count-errs) / float64(count)
+}
+
 // Percentile returns the nearest-rank percentile of ascending-sorted
 // microsecond samples (0 for an empty set).
 func Percentile(sorted []int64, q float64) int64 {

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 )
 
@@ -108,6 +109,22 @@ func (c *resultCache) latestBefore(series string, epoch uint64) (*cachedResult, 
 		return nil, 0, false
 	}
 	return res, e, true
+}
+
+// exportSeries returns every cached result whose series starts with
+// prefix (a "graphName|" boundary) and whose epoch matches exactly,
+// keyed by full series — the per-graph slice a snapshot captures.
+func (c *resultCache) exportSeries(prefix string, epoch uint64) map[string]*cachedResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*cachedResult)
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry)
+		if e.epoch == epoch && strings.HasPrefix(e.series, prefix) {
+			out[e.series] = e.res
+		}
+	}
+	return out
 }
 
 // len reports live entries (tests).

@@ -64,14 +64,36 @@ type Metrics struct {
 // NewMetrics returns a Metrics with every serving counter and histogram
 // registered at zero.
 func NewMetrics() *Metrics {
-	s := stats.NewSet()
-	for _, n := range serveCounters {
-		s.Add(n, 0)
+	return NewMetricsCatalog(serveCounters, serveHistograms)
+}
+
+// NewMetricsCatalog returns a Metrics pre-registered with an arbitrary
+// catalogue instead of the serving one — the distributed tier's router
+// (internal/dserve) reuses the serving metrics machinery with its own
+// `router_*` names this way.
+func NewMetricsCatalog(counters, histograms []string) *Metrics {
+	m := &Metrics{set: stats.NewSet()}
+	m.register(counters, histograms)
+	return m
+}
+
+// Register extends the catalogue with additional counter and histogram
+// names, pre-registered at zero so /metrics renders them from the first
+// request on. A distributed-tier worker (internal/dserve) adds its
+// `worker_*` names to the serve.Server's catalogue through this.
+func (m *Metrics) Register(counters, histograms []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.register(counters, histograms)
+}
+
+func (m *Metrics) register(counters, histograms []string) {
+	for _, n := range counters {
+		m.set.Add(n, 0)
 	}
-	for _, n := range serveHistograms {
-		s.Histogram(n, latencyBucketsUS)
+	for _, n := range histograms {
+		m.set.Histogram(n, latencyBucketsUS)
 	}
-	return &Metrics{set: s}
 }
 
 // Add increments a counter.

@@ -298,6 +298,14 @@ func (s *Server) submit(job func()) error {
 // Start opens a listener on addr ("" or host:0 pick a free port), serves
 // Handler on it in the background, and returns the bound address.
 func (s *Server) Start(addr string) (net.Addr, error) {
+	return s.StartWith(addr, s.Handler())
+}
+
+// StartWith is Start with a caller-supplied handler (normally a mux
+// wrapping Handler with extra routes — the distributed tier's worker
+// adds GET /internal/snapshot this way). Shutdown still drains the
+// listener it opens.
+func (s *Server) StartWith(addr string, h http.Handler) (net.Addr, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
@@ -306,7 +314,7 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 		return nil, err
 	}
 	srv := &http.Server{
-		Handler:           s.Handler(),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	s.mu.Lock()

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"testing"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/conformance"
+)
+
+// TestSnapshotRoundTrip pins the snapshot-shipping contract: a snapshot
+// exported after a cold solve, imported into a fresh server over the same
+// graph configuration, makes the identical query a cache hit — no cold
+// re-solve — with values matching the original within the conformance
+// tolerance.
+func TestSnapshotRoundTrip(t *testing.T) {
+	s1, ts1 := newTestServer(t, nil)
+	g, _ := s1.graphs["g"].snapshot()
+	all := vertexRange(g.NumVertices())
+
+	// Advance the epoch so the snapshot carries a non-zero one, then
+	// solve at that epoch.
+	code, body, _ := postJSON(t, ts1.URL+"/v1/mutate", MutateRequest{
+		Graph: "g", Edges: []EdgeJSON{{Src: 1, Dst: 190, Weight: 0.5}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("mutate: HTTP %d: %s", code, body)
+	}
+	orig := doQuery(t, ts1.URL, QueryRequest{Graph: "g", Algorithm: "pr", Vertices: all})
+
+	snap, err := s1.ExportSnapshot("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 1 || len(snap.Series) == 0 {
+		t.Fatalf("snapshot epoch=%d series=%d, want epoch 1 with cached series", snap.Epoch, len(snap.Series))
+	}
+
+	// The snapshot must survive its wire encoding (JSON, raw float bits).
+	wire, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, nil)
+	if err := s2.ImportSnapshot(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if epoch, _ := s2.GraphEpoch("g"); epoch != snap.Epoch {
+		t.Fatalf("restored epoch %d, want %d", epoch, snap.Epoch)
+	}
+
+	got := doQuery(t, ts2.URL, QueryRequest{Graph: "g", Algorithm: "pr", Vertices: all})
+	if !got.Cached || got.Mode != "cache" {
+		t.Fatalf("restored query cached=%v mode=%q, want cache hit", got.Cached, got.Mode)
+	}
+	if n := s2.Metrics().Counter("query_cold_solves"); n != 0 {
+		t.Fatalf("restored server cold-solved %d times, want 0", n)
+	}
+	g2, _ := s2.graphs["g"].snapshot()
+	alg := algorithms.NewPageRankDelta()
+	tol := conformance.Tolerance(alg, g2)
+	if err := conformance.CompareValues("snapshot-restore",
+		valuesOf(got, g2.NumVertices()), valuesOf(orig, g.NumVertices()), tol); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSnapshotNonFiniteValues checks that ±Inf fixed points (unreachable
+// vertices under SSSP) survive the raw-bits encoding bit-exactly.
+func TestSnapshotNonFiniteValues(t *testing.T) {
+	s1, ts1 := newTestServer(t, nil)
+	g, _ := s1.graphs["g"].snapshot()
+	all := vertexRange(g.NumVertices())
+	orig := doQuery(t, ts1.URL, QueryRequest{Graph: "g", Algorithm: "sssp", Root: ptr(uint32(3)), Vertices: all})
+	var infs int
+	for _, vv := range orig.Values {
+		if math.IsInf(vv.Value, 1) {
+			infs++
+		}
+	}
+	if infs == 0 {
+		t.Skip("test graph has no unreachable vertices from root 3")
+	}
+
+	snap, err := s1.ExportSnapshot("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := newTestServer(t, nil)
+	if err := s2.ImportSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	got := doQuery(t, ts2.URL, QueryRequest{Graph: "g", Algorithm: "sssp", Root: ptr(uint32(3)), Vertices: all})
+	if !got.Cached {
+		t.Fatal("restored sssp query missed the cache")
+	}
+	for i, vv := range got.Values {
+		if orig.Values[i].Value != vv.Value && !(math.IsNaN(orig.Values[i].Value) && math.IsNaN(vv.Value)) {
+			t.Fatalf("vertex %d: restored %g, want %g (bit-exact)", vv.Vertex, vv.Value, orig.Values[i].Value)
+		}
+	}
+}
+
+// TestSnapshotRejections pins the import guardrails: version and shape
+// mismatches fail loudly, and a snapshot older than the resident epoch is
+// ErrSnapshotStale.
+func TestSnapshotRejections(t *testing.T) {
+	s1, ts1 := newTestServer(t, nil)
+	doQuery(t, ts1.URL, QueryRequest{Graph: "g", Algorithm: "pr", Top: 1})
+	snap, err := s1.ExportSnapshot("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *snap
+	bad.Version = SnapshotVersion + 1
+	if err := s1.ImportSnapshot(&bad); err == nil {
+		t.Error("wrong-version snapshot accepted")
+	}
+	bad = *snap
+	bad.Graph = "nope"
+	if err := s1.ImportSnapshot(&bad); err == nil {
+		t.Error("snapshot for non-resident graph accepted")
+	}
+	bad = *snap
+	bad.NumVertices++
+	if err := s1.ImportSnapshot(&bad); err == nil {
+		t.Error("vertex-count mismatch accepted")
+	}
+
+	// Advance the resident epoch past the snapshot's; the old snapshot
+	// must be refused as stale.
+	code, body, _ := postJSON(t, ts1.URL+"/v1/mutate", MutateRequest{
+		Graph: "g", Edges: []EdgeJSON{{Src: 0, Dst: 199, Weight: 0.9}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("mutate: HTTP %d: %s", code, body)
+	}
+	if err := s1.ImportSnapshot(snap); !errors.Is(err, ErrSnapshotStale) {
+		t.Errorf("stale snapshot: err=%v, want ErrSnapshotStale", err)
+	}
+
+	if _, err := s1.ExportSnapshot("nope"); err == nil {
+		t.Error("export of unknown graph succeeded")
+	}
+}

@@ -1,10 +1,19 @@
-// Command lintdoc keeps METRICS.md in sync with the metrics the simulator
-// actually emits. It runs tiny telemetry-enabled simulations of every engine
-// (accelerator, cluster, Graphicionado baseline), collects each registered
-// series name plus the DDR3 stats.Set counter names, the stage/state keys,
-// and the serving-layer metric catalogue, and fails if any collected name
-// is not mentioned in METRICS.md in backticks. CI runs it (`go run ./internal/sim/telemetry/lintdoc`) and
-// `go test` covers the same check.
+// Command lintdoc keeps the metric documentation in sync with the metrics
+// the build actually emits. It runs tiny telemetry-enabled simulations of
+// every engine (accelerator, cluster, Graphicionado baseline), collects
+// each registered series name plus the DDR3 stats.Set counter names, the
+// stage/state keys, and the serving- and distributed-tier metric
+// catalogues, then applies two checks:
+//
+//   - METRICS.md (forward): every collected name must be mentioned in the
+//     doc in backticks;
+//   - OPERATIONS.md (reverse): every backticked metric-shaped token in
+//     the runbook (`router_*`, `worker_*`, `query_*`, …) must name a
+//     metric the build can actually emit — so the troubleshooting table
+//     cannot drift onto renamed or deleted counters.
+//
+// CI runs both (`go run ./internal/sim/telemetry/lintdoc`) and `go test`
+// covers the same checks.
 package main
 
 import (
@@ -12,10 +21,13 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strings"
+	"sync"
 
 	"graphpulse/internal/algorithms"
 	"graphpulse/internal/baseline/graphicionado"
 	"graphpulse/internal/core"
+	"graphpulse/internal/dserve"
 	"graphpulse/internal/graph/gen"
 	"graphpulse/internal/mem"
 	"graphpulse/internal/psolve"
@@ -92,6 +104,10 @@ func emittedNames() ([]string, error) {
 	// Serving-layer counters and latency histograms.
 	add(serve.MetricNames()...)
 
+	// Distributed serving tier: router and worker catalogues.
+	add(dserve.RouterMetricNames()...)
+	add(dserve.WorkerMetricNames()...)
+
 	// Parallel native solver counters.
 	add(psolve.MetricNames()...)
 
@@ -113,6 +129,19 @@ func emittedNames() ([]string, error) {
 }
 
 var backtickRE = regexp.MustCompile("`([^`]+)`")
+
+// cachedEmittedNames memoizes the (simulation-backed) name collection so
+// linting several docs pays for it once.
+var (
+	namesOnce sync.Once
+	namesVal  []string
+	namesErr  error
+)
+
+func cachedEmittedNames() ([]string, error) {
+	namesOnce.Do(func() { namesVal, namesErr = emittedNames() })
+	return namesVal, namesErr
+}
 
 // check verifies every emitted metric name appears in the doc at docPath
 // inside backticks. `dram_*`-style globs in the doc cover matching names.
@@ -142,7 +171,7 @@ func check(docPath string) error {
 		return false
 	}
 
-	names, err := emittedNames()
+	names, err := cachedEmittedNames()
 	if err != nil {
 		return err
 	}
@@ -154,6 +183,60 @@ func check(docPath string) error {
 	}
 	if len(missing) > 0 {
 		return fmt.Errorf("lintdoc: %s is stale — undocumented metric names: %v", docPath, missing)
+	}
+	return nil
+}
+
+// metricTokenRE matches the backticked tokens the reverse check treats as
+// metric references: the repository's metric-name families, optionally
+// ending in a `*` glob.
+var metricTokenRE = regexp.MustCompile(`^(router|worker|query|mutate|stream|compute|psolve)_[a-z0-9_]+\*?$`)
+
+// checkOps is the reverse check for runbook-style docs (OPERATIONS.md):
+// every backticked token shaped like a metric name must be a metric the
+// build can emit. A trailing `*` in the doc is a glob and is satisfied by
+// any emitted name with that prefix.
+func checkOps(docPath string) error {
+	raw, err := os.ReadFile(docPath)
+	if err != nil {
+		return err
+	}
+	names, err := cachedEmittedNames()
+	if err != nil {
+		return err
+	}
+	emitted := make(map[string]bool, len(names))
+	for _, n := range names {
+		emitted[n] = true
+	}
+	prefixExists := func(prefix string) bool {
+		for _, n := range names {
+			if strings.HasPrefix(n, prefix) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var unknown []string
+	seen := map[string]bool{}
+	for _, m := range backtickRE.FindAllStringSubmatch(string(raw), -1) {
+		tok := m[1]
+		if !metricTokenRE.MatchString(tok) || seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		if strings.HasSuffix(tok, "*") {
+			if !prefixExists(strings.TrimSuffix(tok, "*")) {
+				unknown = append(unknown, tok)
+			}
+		} else if !emitted[tok] {
+			unknown = append(unknown, tok)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("lintdoc: %s references metrics the build does not emit: %v", docPath, unknown)
 	}
 	return nil
 }

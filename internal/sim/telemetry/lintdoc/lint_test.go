@@ -25,3 +25,43 @@ func TestCheckFlagsUndocumentedNames(t *testing.T) {
 		t.Fatal("check accepted a doc missing nearly every metric")
 	}
 }
+
+// TestOperationsDocNamesAreReal is the reverse check CI runs: every metric
+// name the runbook's troubleshooting guidance cites must exist in the
+// build.
+func TestOperationsDocNamesAreReal(t *testing.T) {
+	if err := checkOps(filepath.Join("..", "..", "..", "..", "OPERATIONS.md")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckOpsFlagsUnknownNames proves the reverse check fails on a
+// runbook citing a metric the build does not emit, and that globs are
+// honored.
+func TestCheckOpsFlagsUnknownNames(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "OPERATIONS.md")
+	if err := os.WriteFile(bad, []byte("Watch `router_bogus_counter` closely.\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkOps(bad); err == nil {
+		t.Fatal("checkOps accepted a runbook citing a nonexistent metric")
+	}
+
+	good := filepath.Join(dir, "OPERATIONS2.md")
+	if err := os.WriteFile(good,
+		[]byte("Watch `router_retries` and the `worker_snapshot_*` family; `serve -graph` is not a metric.\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkOps(good); err != nil {
+		t.Fatalf("checkOps rejected a runbook citing only real metrics: %v", err)
+	}
+
+	glob := filepath.Join(dir, "OPERATIONS3.md")
+	if err := os.WriteFile(glob, []byte("The `router_nonexistent_*` family.\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkOps(glob); err == nil {
+		t.Fatal("checkOps accepted a glob matching no emitted metric")
+	}
+}

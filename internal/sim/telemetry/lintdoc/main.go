@@ -3,16 +3,37 @@ package main
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
-func main() {
-	doc := "METRICS.md"
-	if len(os.Args) > 1 {
-		doc = os.Args[1]
+// lintOne picks the check by doc role: runbooks (OPERATIONS.md) get the
+// reverse referenced-names-must-exist check, metric catalogues
+// (METRICS.md, the default) the forward every-emitted-name-documented
+// check.
+func lintOne(doc string) error {
+	if filepath.Base(doc) == "OPERATIONS.md" {
+		if err := checkOps(doc); err != nil {
+			return err
+		}
+		fmt.Printf("lintdoc: every metric %s references is emitted by the build\n", doc)
+		return nil
 	}
 	if err := check(doc); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("lintdoc: %s documents every emitted metric\n", doc)
+	return nil
+}
+
+func main() {
+	docs := os.Args[1:]
+	if len(docs) == 0 {
+		docs = []string{"METRICS.md", "OPERATIONS.md"}
+	}
+	for _, doc := range docs {
+		if err := lintOne(doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }
