@@ -32,32 +32,39 @@ import (
 
 func main() {
 	var (
-		url     = flag.String("url", "http://127.0.0.1:8080", "serve base URL")
-		graph   = flag.String("graph", "", "resident graph name to target (required)")
-		alg     = flag.String("alg", "pr", "algorithm: pr|ads|sssp|bfs|reach|cc|sswp|relpath")
-		root    = flag.Uint("root", 0, "root vertex for rooted algorithms")
-		engine  = flag.String("engine", "", "engine registry name: "+engines.NamesList()+" (default solve)")
-		qps     = flag.Float64("qps", 0, "open-loop target arrival rate (0 = closed loop)")
-		conc    = flag.Int("c", 8, "client concurrency")
-		dur     = flag.Duration("d", 5*time.Second, "load duration")
-		mutEv   = flag.Int("mutate-every", 0, "make every Nth request a mutation batch (0 = never)")
-		mutEdge = flag.Int("mutate-edges", 16, "edges per mutation/deletion batch")
-		delEv   = flag.Int("delete-every", 0, "make every Nth request a deletion batch of previously inserted edges (0 = never)")
-		strEv   = flag.Int("stream-every", 0, "make every Nth request a bulk NDJSON /v1/stream post (0 = never)")
-		strOps  = flag.Int("stream-ops", 64, "ops per stream request")
-		seed    = flag.Int64("seed", 42, "mutation edge seed")
-		csvPath = flag.String("csv", "", "write the summary as CSV to this file (atomic)")
-		minQPS  = flag.Float64("min-qps", 0, "exit non-zero unless the achieved query rate reaches this")
-		maxErrs = flag.Int64("max-errors", -1, "exit non-zero when hard failures across all kinds exceed this (-1 = no gate)")
-		minAvail = flag.Float64("min-availability", 0, "exit non-zero when the non-error fraction across all kinds falls below this (0 = no gate)")
+		url        = flag.String("url", "http://127.0.0.1:8080", "serve base URL")
+		graph      = flag.String("graph", "", "resident graph name to target (required)")
+		alg        = flag.String("alg", "pr", "algorithm: pr|ads|sssp|bfs|reach|cc|sswp|relpath")
+		root       = flag.Uint("root", 0, "root vertex for rooted algorithms")
+		engine     = flag.String("engine", "", "engine registry name: "+engines.NamesList()+" (default solve)")
+		qps        = flag.Float64("qps", 0, "open-loop target arrival rate (0 = closed loop)")
+		conc       = flag.Int("c", 8, "client concurrency")
+		dur        = flag.Duration("d", 5*time.Second, "load duration")
+		mutEv      = flag.Int("mutate-every", 0, "make every Nth request a mutation batch (0 = never)")
+		mutEdge    = flag.Int("mutate-edges", 16, "edges per mutation/deletion batch")
+		delEv      = flag.Int("delete-every", 0, "make every Nth request a deletion batch of previously inserted edges (0 = never)")
+		strEv      = flag.Int("stream-every", 0, "make every Nth request a bulk NDJSON /v1/stream post (0 = never)")
+		strOps     = flag.Int("stream-ops", 64, "ops per stream request")
+		seed       = flag.Int64("seed", 42, "mutation edge seed")
+		csvPath    = flag.String("csv", "", "write the summary as CSV to this file (atomic)")
+		minQPS     = flag.Float64("min-qps", 0, "exit non-zero unless the achieved query rate reaches this")
+		maxErrs    = flag.Int64("max-errors", -1, "exit non-zero when hard failures across all kinds exceed this (-1 = no gate)")
+		minAvail   = flag.Float64("min-availability", 0, "exit non-zero when the non-error fraction across all kinds falls below this (0 = no gate)")
+		verifyWait = flag.Duration("verify-wait", 10*time.Second, "digest convergence budget for -verify-replica")
+		verifyOnly = flag.Bool("verify-only", false, "skip the load phase; only run the -verify-replica divergence check")
 	)
+	var verifyReplicas []string
+	flag.Func("verify-replica", "after the run, verify this replica base URL agrees with the others (repeatable; exits non-zero on divergence)", func(v string) error {
+		verifyReplicas = append(verifyReplicas, v)
+		return nil
+	})
 	flag.Parse()
 	if *graph == "" {
 		fmt.Fprintln(os.Stderr, "loadgen: -graph is required")
 		os.Exit(2)
 	}
 
-	stats, err := loadgen.Run(context.Background(), loadgen.Config{
+	cfg := loadgen.Config{
 		BaseURL:     *url,
 		Graph:       *graph,
 		Algorithm:   *alg,
@@ -72,7 +79,14 @@ func main() {
 		StreamEvery: *strEv,
 		StreamOps:   *strOps,
 		Seed:        *seed,
-	})
+	}
+
+	if *verifyOnly {
+		runVerify(cfg, verifyReplicas, *verifyWait)
+		return
+	}
+
+	stats, err := loadgen.Run(context.Background(), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -104,4 +118,38 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if len(verifyReplicas) > 0 {
+		runVerify(cfg, verifyReplicas, *verifyWait)
+	}
+}
+
+// runVerify runs the post-burst replica divergence check and exits
+// non-zero on any mismatch.
+func runVerify(cfg loadgen.Config, replicas []string, wait time.Duration) {
+	if len(replicas) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -verify-only needs at least one -verify-replica")
+		os.Exit(2)
+	}
+	rep, err := loadgen.VerifyReplicas(context.Background(), cfg, replicas, wait)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: verify:", err)
+		os.Exit(1)
+	}
+	for _, st := range rep.Replicas {
+		if st.Err != "" {
+			fmt.Printf("replica %s: error: %s\n", st.URL, st.Err)
+			continue
+		}
+		fmt.Printf("replica %s: epoch %d digest %s sum %.9g mode %s\n",
+			st.URL, st.Epoch, st.Digest, st.Sum, st.Mode)
+	}
+	if rep.OK() {
+		fmt.Printf("replicas agree on %q (converged in %s)\n", cfg.Graph, rep.Waited.Round(time.Millisecond))
+		return
+	}
+	for _, m := range rep.Mismatches {
+		fmt.Fprintln(os.Stderr, "loadgen: verify:", m)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: verify: %d mismatch(es) on %q\n", len(rep.Mismatches), cfg.Graph)
+	os.Exit(1)
 }

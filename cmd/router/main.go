@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"graphpulse/internal/dserve"
+	"graphpulse/internal/dserve/chaos"
 )
 
 func main() {
@@ -44,6 +45,10 @@ func main() {
 		backoff   = flag.Duration("backoff", 500*time.Millisecond, "base re-probe backoff for ejected workers")
 		backoffMx = flag.Duration("backoff-max", 15*time.Second, "cap on the ejected-worker re-probe backoff")
 		drain     = flag.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight requests")
+		fanout    = flag.Int("fanout", 0, "concurrent replicas per write fan-out (0 = default 4)")
+		seed      = flag.Uint64("seed", 1, "seed for backoff jitter (and any other router randomness)")
+		aeEvery   = flag.Duration("antientropy", 5*time.Second, "anti-entropy divergence-check period (0 disables)")
+		chaosSpec = flag.String("chaos", "", "chaos fault injection spec, e.g. seed=7,drop=0.05,delay=0.1,delay-ms=50,truncate=0.02 (empty disables; testing only)")
 	)
 	var seeds []string
 	flag.Func("worker", "seed worker base URL (repeatable; workers can also self-register)", func(v string) error {
@@ -53,17 +58,37 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	var proxy *chaos.Proxy
+	if *chaosSpec != "" {
+		ccfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			logger.Fatalf("router: bad -chaos spec: %v", err)
+		}
+		proxy, err = chaos.New(ccfg)
+		if err != nil {
+			logger.Fatalf("router: bad -chaos spec: %v", err)
+		}
+		logger.Printf("chaos fault injection enabled: %s", *chaosSpec)
+	}
+	aeInterval := *aeEvery
+	if aeInterval == 0 {
+		aeInterval = -1 // flag 0 means "off"; config 0 means "default"
+	}
 	rt, err := dserve.NewRouter(dserve.RouterConfig{
-		Workers:       seeds,
-		Replication:   *repl,
-		VirtualNodes:  *vnodes,
-		ProbeInterval: *probeInt,
-		ProbeTimeout:  *probeTO,
-		FailAfter:     *failAfter,
-		RetryBudget:   *retries,
-		BackoffBase:   *backoff,
-		BackoffMax:    *backoffMx,
-		Logf:          logger.Printf,
+		Workers:             seeds,
+		Replication:         *repl,
+		VirtualNodes:        *vnodes,
+		ProbeInterval:       *probeInt,
+		ProbeTimeout:        *probeTO,
+		FailAfter:           *failAfter,
+		RetryBudget:         *retries,
+		BackoffBase:         *backoff,
+		BackoffMax:          *backoffMx,
+		FanoutConcurrency:   *fanout,
+		Seed:                *seed,
+		AntiEntropyInterval: aeInterval,
+		Chaos:               proxy,
+		Logf:                logger.Printf,
 	})
 	if err != nil {
 		logger.Fatal(err)

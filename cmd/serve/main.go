@@ -65,6 +65,8 @@ func main() {
 		snapDir   = flag.String("snapshot-dir", "", "directory for per-graph snapshot files (worker mode; empty disables persistence)")
 		snapEvery = flag.Duration("snapshot-every", 30*time.Second, "snapshot persist period (worker mode)")
 		heartbeat = flag.Duration("heartbeat", 5*time.Second, "router re-registration period (worker mode)")
+		walDir    = flag.String("wal-dir", "", "directory for per-graph mutation WALs (worker mode; empty disables the WAL)")
+		walSeg    = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size in bytes (0 = default 1MiB)")
 	)
 	var specs []serve.GraphSpec
 	flag.Func("graph", "resident graph as name=SOURCE; SOURCE is ABBREV:tier (e.g. WG:tiny) or a graph file (repeatable)", func(v string) error {
@@ -124,19 +126,24 @@ func main() {
 			}
 		}
 		wk, err := dserve.NewWorker(dserve.WorkerConfig{
-			Server:        srv,
-			RouterURL:     *routerURL,
-			Advertise:     adv,
-			SnapshotDir:   *snapDir,
-			SnapshotEvery: *snapEvery,
-			Heartbeat:     *heartbeat,
-			Logf:          logger.Printf,
+			Server:          srv,
+			RouterURL:       *routerURL,
+			Advertise:       adv,
+			SnapshotDir:     *snapDir,
+			SnapshotEvery:   *snapEvery,
+			Heartbeat:       *heartbeat,
+			WALDir:          *walDir,
+			WALSegmentBytes: *walSeg,
+			Logf:            logger.Printf,
 		})
 		if err != nil {
 			logger.Fatal(err)
 		}
-		// Restore the last persisted state before accepting traffic.
+		// Restore the last persisted state, then replay the WAL tail past
+		// it — mutations acknowledged after the last snapshot tick — before
+		// accepting traffic.
 		wk.RestoreLocal()
+		wk.ReplayWAL()
 		bound, err = srv.StartWith(*addr, wk.Handler())
 		if err != nil {
 			logger.Fatal(err)

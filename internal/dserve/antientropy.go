@@ -1,0 +1,176 @@
+package dserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"graphpulse/internal/serve"
+)
+
+// The anti-entropy loop: every AntiEntropyInterval the router fetches a
+// per-graph (epoch, state digest) pair from each healthy replica
+// (GET /internal/digest on the worker), flags divergence in metrics, and
+// asks each laggard to repair itself from the most advanced peer
+// (POST /internal/repair). The worker-side repair first tries the cheap
+// path — fetch the missing WAL suffix from the donor and replay it — and
+// falls back to a full snapshot transfer when the donor's log no longer
+// covers the gap. Either way a replica that missed a write converges back
+// to digest equality without a restart and without a cold re-solve.
+
+// antiEntropyLoop drives periodic divergence checks until shutdown.
+func (rt *Router) antiEntropyLoop() {
+	defer rt.wg.Done()
+	tick := time.NewTicker(rt.cfg.AntiEntropyInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-tick.C:
+		}
+		rt.antiEntropyPass()
+	}
+}
+
+// hostedGraphs is the union of every registered worker's graph set.
+// Seed workers that never registered are skipped — the router cannot
+// enumerate their graphs until their first registration.
+func (rt *Router) hostedGraphs() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	set := map[string]bool{}
+	for _, w := range rt.workers {
+		for g := range w.graphs {
+			set[g] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for g := range set {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// antiEntropyPass runs one divergence check over every hosted graph.
+func (rt *Router) antiEntropyPass() {
+	for _, g := range rt.hostedGraphs() {
+		rt.antiEntropyCheck(g)
+	}
+}
+
+// replicaDigest pairs a replica URL with its reported digest.
+type replicaDigest struct {
+	url  string
+	info serve.DigestInfo
+}
+
+// antiEntropyCheck compares one graph's digests across its healthy
+// replicas and triggers repair of every laggard. Divergence means any
+// replica's (epoch, digest) differs from the most advanced replica's;
+// the most advanced is the highest epoch, ties broken by ring order —
+// deterministic, so concurrent repairs all pull from the same donor.
+func (rt *Router) antiEntropyCheck(graphName string) {
+	_, healthy := rt.replicaSet(graphName)
+	if len(healthy) < 2 {
+		return
+	}
+	rt.metrics.Add("antientropy_checks", 1)
+	digs := make([]replicaDigest, 0, len(healthy))
+	for _, u := range healthy {
+		info, err := rt.fetchDigest(u, graphName)
+		if err != nil {
+			rt.metrics.Add("antientropy_errors", 1)
+			rt.logf("dserve: router: anti-entropy digest of %q from %s: %v", graphName, u, err)
+			continue
+		}
+		digs = append(digs, replicaDigest{url: u, info: info})
+	}
+	if len(digs) < 2 {
+		return
+	}
+	best := digs[0]
+	for _, d := range digs[1:] {
+		if d.info.Epoch > best.info.Epoch {
+			best = d
+		}
+	}
+	diverged := false
+	for _, d := range digs {
+		if d.info.Epoch != best.info.Epoch || d.info.Digest != best.info.Digest {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		return
+	}
+	rt.metrics.Add("antientropy_divergence", 1)
+	for _, d := range digs {
+		if d.url == best.url ||
+			(d.info.Epoch == best.info.Epoch && d.info.Digest == best.info.Digest) {
+			continue
+		}
+		if err := rt.requestRepair(d.url, graphName, best.url); err != nil {
+			rt.metrics.Add("antientropy_errors", 1)
+			rt.logf("dserve: router: anti-entropy repair of %q on %s from %s: %v",
+				graphName, d.url, best.url, err)
+			continue
+		}
+		rt.metrics.Add("antientropy_repairs", 1)
+		rt.logf("dserve: router: anti-entropy healed %q on %s from %s (was epoch %d, donor %d)",
+			graphName, d.url, best.url, d.info.Epoch, best.info.Epoch)
+	}
+}
+
+// fetchDigest asks one worker for one graph's (epoch, digest) pair.
+func (rt *Router) fetchDigest(worker, graphName string) (serve.DigestInfo, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		worker+"/internal/digest?graph="+url.QueryEscape(graphName), nil)
+	if err != nil {
+		return serve.DigestInfo{}, err
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return serve.DigestInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return serve.DigestInfo{}, fmt.Errorf("digest status %d", resp.StatusCode)
+	}
+	var info serve.DigestInfo
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&info); err != nil {
+		return serve.DigestInfo{}, err
+	}
+	return info, nil
+}
+
+// requestRepair asks the laggard to pull the missing suffix from donor.
+func (rt *Router) requestRepair(laggard, graphName, donor string) error {
+	body, err := json.Marshal(RepairRequest{Graph: graphName, Peer: donor})
+	if err != nil {
+		return err
+	}
+	resp, err := rt.cfg.Client.Post(laggard+"/internal/repair", "application/json",
+		bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("repair status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// burst sends n serial GETs through client and returns per-request
+// outcomes ("ok", "err", or "short" for a truncated body).
+func burst(t *testing.T, client *http.Client, url string, n int) []string {
+	t.Helper()
+	out := make([]string, n)
+	for i := range out {
+		resp, err := client.Get(url)
+		if err != nil {
+			out[i] = "err"
+			continue
+		}
+		_, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case rerr != nil:
+			out[i] = "short"
+		default:
+			out[i] = "ok"
+		}
+	}
+	return out
+}
+
+// bigBodyServer answers every request with a body larger than the
+// truncation cap, so truncate faults are observable as read errors.
+func bigBodyServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, strings.Repeat("x", 4096))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestDeterminism pins the core contract: two proxies with the same seed
+// fed the same serial request sequence inject the identical fault log,
+// while a different seed diverges.
+func TestDeterminism(t *testing.T) {
+	ts := bigBodyServer(t)
+	cfg := Config{Seed: 7, DropRate: 0.3, DelayRate: 0.2, TruncateRate: 0.3, Delay: time.Microsecond}
+
+	run := func(seed uint64) ([]string, []Event) {
+		p, err := New(Config{Seed: seed, DropRate: cfg.DropRate, DelayRate: cfg.DelayRate,
+			TruncateRate: cfg.TruncateRate, Delay: cfg.Delay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes := burst(t, p.Wrap(nil), ts.URL, 64)
+		return outcomes, p.Events()
+	}
+
+	out1, ev1 := run(cfg.Seed)
+	out2, ev2 := run(cfg.Seed)
+	if fmt.Sprint(out1) != fmt.Sprint(out2) {
+		t.Fatalf("same seed, different outcomes:\n%v\n%v", out1, out2)
+	}
+	if len(ev1) == 0 {
+		t.Fatal("no faults injected at 30% rates over 64 requests")
+	}
+	if fmt.Sprint(ev1) != fmt.Sprint(ev2) {
+		t.Fatalf("same seed, different fault logs:\n%v\n%v", ev1, ev2)
+	}
+
+	_, ev3 := run(cfg.Seed + 1)
+	if fmt.Sprint(ev1) == fmt.Sprint(ev3) {
+		t.Fatal("different seeds injected the identical fault log")
+	}
+}
+
+// TestDisabledPassthrough pins that chaos off is chaos absent: a nil
+// proxy returns the client unchanged, and a zero-rate proxy injects
+// nothing.
+func TestDisabledPassthrough(t *testing.T) {
+	client := &http.Client{Timeout: time.Second}
+	var nilProxy *Proxy
+	if got := nilProxy.Wrap(client); got != client {
+		t.Fatal("nil proxy did not return the client unchanged")
+	}
+	// Every other method is a nil-safe no-op.
+	nilProxy.Partition("http://x:1")
+	nilProxy.Heal("x:1")
+	nilProxy.HealAll()
+	nilProxy.SetSink(func(string, int64) {})
+	if nilProxy.Partitioned() != nil || nilProxy.Events() != nil || nilProxy.EventCount() != 0 {
+		t.Fatal("nil proxy reported state")
+	}
+
+	ts := bigBodyServer(t)
+	p, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range burst(t, p.Wrap(nil), ts.URL, 32) {
+		if got != "ok" {
+			t.Fatalf("zero-rate proxy faulted request %d: %s", i, got)
+		}
+	}
+	if p.EventCount() != 0 {
+		t.Fatalf("zero-rate proxy logged %d events", p.EventCount())
+	}
+}
+
+// TestPartitionHeal flips a host partition on and off and checks both the
+// request outcomes and the counter sink.
+func TestPartitionHeal(t *testing.T) {
+	ts := bigBodyServer(t)
+	p, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{}
+	p.SetSink(func(name string, delta int64) { counts[name] += delta })
+	client := p.Wrap(nil)
+
+	// Partition accepts the full URL form the router knows workers by.
+	p.Partition(ts.URL)
+	if got := p.Partitioned(); len(got) != 1 {
+		t.Fatalf("Partitioned() = %v, want one host", got)
+	}
+	if _, err := client.Get(ts.URL); err == nil || !strings.Contains(err.Error(), "partitioned") {
+		t.Fatalf("partitioned request err = %v, want partition error", err)
+	}
+	if counts["chaos_partition_blocks"] != 1 {
+		t.Fatalf("partition block not counted: %v", counts)
+	}
+
+	p.Heal(ts.URL)
+	if resp, err := client.Get(ts.URL); err != nil {
+		t.Fatalf("healed request failed: %v", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if got := p.Partitioned(); len(got) != 0 {
+		t.Fatalf("Partitioned() after heal = %v, want none", got)
+	}
+
+	p.Partition(ts.URL)
+	p.HealAll()
+	if resp, err := client.Get(ts.URL); err != nil {
+		t.Fatalf("request after HealAll failed: %v", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// TestTruncateFault forces a truncate and checks the reader sees an
+// unexpected EOF after the cap, not a clean body.
+func TestTruncateFault(t *testing.T) {
+	ts := bigBodyServer(t)
+	p, err := New(Config{Seed: 1, TruncateRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := p.Wrap(nil).Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(resp.Body)
+	if rerr != io.ErrUnexpectedEOF {
+		t.Fatalf("read err = %v, want io.ErrUnexpectedEOF", rerr)
+	}
+	if len(data) == 0 || len(data) > truncateAfterBytes {
+		t.Fatalf("read %d bytes through the truncated body, cap is %d", len(data), truncateAfterBytes)
+	}
+}
+
+// TestParseSpec pins the CLI spec grammar.
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=7, drop=0.05, delay=0.1, delay-ms=50, truncate=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 7, DropRate: 0.05, DelayRate: 0.1, TruncateRate: 0.02, Delay: 50 * time.Millisecond}
+	if cfg != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg != (Config{}) {
+		t.Fatalf("empty spec = (%+v, %v), want zero config", cfg, err)
+	}
+	for _, bad := range []string{"drop", "drop=2", "x=1", "seed=abc", "delay-ms=-1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

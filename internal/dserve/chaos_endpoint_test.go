@@ -1,0 +1,97 @@
+package dserve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"graphpulse/internal/dserve/chaos"
+)
+
+// TestRouterChaosEndpoint drives the chaos control plane end to end:
+// partition a worker through POST /internal/chaos, watch router→worker
+// traffic to it fail (and get counted), heal it, and watch traffic flow
+// again. Without a chaos proxy the endpoint does not exist.
+func TestRouterChaosEndpoint(t *testing.T) {
+	_, ts := newServeNode(t)
+	proxy, err := chaos.New(chaos.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, rts := newTestRouter(t, RouterConfig{
+		Workers:       []string{ts.URL},
+		Chaos:         proxy,
+		ProbeInterval: time.Hour, // keep probes out of the partition counters
+		FailAfter:     100,       // and keep the worker in rotation while cut off
+	})
+
+	// Healthy baseline through the un-triggered proxy.
+	if resp, code := queryVia(t, rts.URL); code != http.StatusOK || resp == nil {
+		t.Fatalf("baseline query: HTTP %d", code)
+	}
+
+	code, body := postJSON(t, rts.URL+"/internal/chaos", ChaosRequest{Partition: ts.URL})
+	if code != http.StatusOK {
+		t.Fatalf("partition: HTTP %d: %s", code, body)
+	}
+	var st ChaosStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Partitioned) != 1 {
+		t.Fatalf("chaos status after partition = %+v", st)
+	}
+	if _, code := queryVia(t, rts.URL); code == http.StatusOK {
+		t.Fatal("query succeeded through an active partition")
+	}
+	if rt.Metrics().Counter("chaos_partition_blocks") == 0 {
+		t.Error("partition blocks not surfaced in the router's metrics")
+	}
+
+	code, body = postJSON(t, rts.URL+"/internal/chaos", ChaosRequest{HealAll: true})
+	if code != http.StatusOK {
+		t.Fatalf("heal: HTTP %d: %s", code, body)
+	}
+	if resp, code := queryVia(t, rts.URL); code != http.StatusOK || resp == nil {
+		t.Fatalf("query after heal: HTTP %d", code)
+	}
+
+	// GET reports without mutating.
+	resp, err := http.Get(rts.URL + "/internal/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chaos status: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Partitioned) != 0 || st.Events == 0 {
+		t.Fatalf("chaos status after heal = %+v, want no partitions and a nonzero event count", st)
+	}
+
+	// An empty request is rejected.
+	if code, _ := postJSON(t, rts.URL+"/internal/chaos", ChaosRequest{}); code != http.StatusBadRequest {
+		t.Errorf("empty chaos request: HTTP %d, want 400", code)
+	}
+}
+
+// TestRouterChaosDisabled pins that a chaos-less router exposes no fault
+// surface: both chaos endpoints 404.
+func TestRouterChaosDisabled(t *testing.T) {
+	_, rts := newTestRouter(t, RouterConfig{})
+	if code, _ := postJSON(t, rts.URL+"/internal/chaos", ChaosRequest{Partition: "http://x:1"}); code != http.StatusNotFound {
+		t.Fatalf("chaos POST on plain router: HTTP %d, want 404", code)
+	}
+	resp, err := http.Get(rts.URL + "/internal/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("chaos GET on plain router: HTTP %d, want 404", resp.StatusCode)
+	}
+}

@@ -50,8 +50,8 @@ type RegisterResponse struct {
 // WorkerInfo is one row of GET /internal/workers: the router's live view
 // of a worker.
 type WorkerInfo struct {
-	URL     string   `json:"url"`
-	Healthy bool     `json:"healthy"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
 	// Draining marks a worker cordoned via POST /internal/drain: it keeps
 	// its registration but receives no new traffic.
 	Draining bool `json:"draining,omitempty"`
@@ -69,4 +69,49 @@ type WorkerInfo struct {
 type DrainRequest struct {
 	URL     string `json:"url"`
 	Undrain bool   `json:"undrain,omitempty"`
+}
+
+// WALTailResponse is the body of a worker's GET /internal/wal answer:
+// the records after ?after=, plus the (epoch, digest) pair the donor was
+// at when it shipped them — the repairing replica compares against it to
+// decide whether the replay actually converged.
+type WALTailResponse struct {
+	Graph   string      `json:"graph"`
+	Epoch   uint64      `json:"epoch"`
+	Digest  string      `json:"digest"`
+	Records []WALRecord `json:"records"`
+}
+
+// RepairRequest is the body of POST /internal/repair: the router asking
+// a lagging worker to catch graph up from the named donor peer — WAL
+// suffix replay when the donor's log covers the gap, full snapshot
+// transfer otherwise.
+type RepairRequest struct {
+	Graph string `json:"graph"`
+	Peer  string `json:"peer"`
+}
+
+// RepairResponse reports how a repair converged: Mode "wal" (suffix
+// replayed), "snapshot" (full transfer), and the epoch reached.
+type RepairResponse struct {
+	Graph    string `json:"graph"`
+	Mode     string `json:"mode"`
+	Epoch    uint64 `json:"epoch"`
+	Replayed int    `json:"replayed,omitempty"`
+}
+
+// ChaosRequest is the body of the router's POST /internal/chaos (only
+// mounted when the chaos proxy is enabled): exactly one of Partition
+// (worker URL or host to cut off), Heal, or HealAll.
+type ChaosRequest struct {
+	Partition string `json:"partition,omitempty"`
+	Heal      string `json:"heal,omitempty"`
+	HealAll   bool   `json:"heal_all,omitempty"`
+}
+
+// ChaosStatus reports the chaos proxy's current partitions and total
+// injected-fault count.
+type ChaosStatus struct {
+	Partitioned []string `json:"partitioned"`
+	Events      uint64   `json:"events"`
 }

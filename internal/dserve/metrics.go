@@ -23,6 +23,19 @@ var routerCounters = []string{
 	"router_probe_failures",    // health probes failed
 	"router_worker_ejected",    // workers ejected after FailAfter consecutive failures
 	"router_worker_readmitted", // ejected workers readmitted by a passing probe or heartbeat
+
+	// Anti-entropy loop (see antientropy.go).
+	"antientropy_checks",     // divergence checks run (graphs with ≥2 healthy replicas)
+	"antientropy_divergence", // checks that found replicas disagreeing on (epoch, digest)
+	"antientropy_repairs",    // laggard repairs that completed (wal suffix or snapshot)
+	"antientropy_errors",     // digest fetches or repair requests that failed
+
+	// Chaos proxy injections (names owned by internal/dserve/chaos;
+	// zero unless RouterConfig.Chaos is set).
+	"chaos_drops",            // requests failed before sending
+	"chaos_delays",           // requests delayed before sending
+	"chaos_truncates",        // response bodies cut short
+	"chaos_partition_blocks", // requests blocked by an active partition
 }
 
 // routerHistograms are the router-side request latency distributions
@@ -35,15 +48,32 @@ var routerHistograms = []string{
 
 // workerCounters are registered into the wrapped serve.Server's metrics.
 var workerCounters = []string{
-	"worker_register_attempts",    // registration/heartbeat posts attempted
-	"worker_registered",           // registrations acknowledged by the router
-	"worker_register_errors",      // registration posts that failed
-	"worker_snapshot_saves",       // snapshots persisted to the snapshot directory
-	"worker_snapshot_save_errors", // snapshot persists that failed
-	"worker_snapshot_served",      // GET /internal/snapshot fetches answered to peers
-	"worker_snapshot_restores",    // snapshots adopted (local file or peer fetch)
-	"worker_snapshot_stale",       // snapshots skipped as older than resident state
+	"worker_register_attempts",     // registration/heartbeat posts attempted
+	"worker_registered",            // registrations acknowledged by the router
+	"worker_register_errors",       // registration posts that failed
+	"worker_snapshot_saves",        // snapshots persisted to the snapshot directory
+	"worker_snapshot_save_errors",  // snapshot persists that failed
+	"worker_snapshot_served",       // GET /internal/snapshot fetches answered to peers
+	"worker_snapshot_restores",     // snapshots adopted (local file or peer fetch)
+	"worker_snapshot_stale",        // snapshots skipped as older than resident state
 	"worker_snapshot_fetch_errors", // peer snapshot fetches that failed
+
+	// Durable mutation WAL (see wal.go).
+	"wal_appends",            // mutation epochs durably appended (fsynced)
+	"wal_append_errors",      // appends that failed (mutation still acknowledged; divergence risk)
+	"wal_segments_rotated",   // segment rotations at WALSegmentBytes
+	"wal_segments_truncated", // segments retired as covered by a persisted snapshot
+	"wal_replayed_batches",   // logged epochs re-applied at startup (ReplayWAL)
+	"wal_replay_errors",      // replay stops: gap, hole, or corrupt record
+	"wal_tail_dropped",       // torn tail pieces dropped when opening the log
+
+	// Anti-entropy, worker side (see worker.go repair path).
+	"antientropy_digests_served",     // GET /internal/digest answers
+	"antientropy_wal_served",         // GET /internal/wal suffixes shipped to peers
+	"antientropy_wal_gone",           // suffix requests answered 410 (truncated or no wal)
+	"antientropy_repairs_applied",    // repairs converged via wal suffix replay
+	"antientropy_snapshot_fallbacks", // repairs that fell back to a full snapshot transfer
+	"antientropy_repair_errors",      // repairs that failed outright
 }
 
 // RouterMetricNames lists every metric a Router can emit; the METRICS.md

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/url"
@@ -16,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"graphpulse/internal/dserve/chaos"
 	"graphpulse/internal/serve"
 )
 
@@ -58,8 +60,27 @@ type RouterConfig struct {
 	RetryBudget int
 	// BackoffBase and BackoffMax bound the ejected-worker re-probe
 	// backoff: base, 2×base, 4×base, … capped at max (defaults 500ms, 15s).
+	// Each scheduled re-probe adds up to 25% seeded jitter so a fleet
+	// ejected by one shared outage does not re-probe in lockstep.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// FanoutConcurrency bounds how many replicas one write fan-out
+	// contacts concurrently (default 4). Writes to one graph are still
+	// serialized by the per-graph lock, so all replicas see mutation
+	// epochs in the same order.
+	FanoutConcurrency int
+	// Seed keys the router's deterministic RNG (probe-backoff jitter);
+	// the default 1 keeps tests reproducible.
+	Seed uint64
+	// AntiEntropyInterval is the period of the divergence check: every
+	// interval the router compares (epoch, state digest) across each
+	// graph's healthy replicas and asks laggards to repair from the most
+	// advanced peer (default 5s). Negative disables the loop.
+	AntiEntropyInterval time.Duration
+	// Chaos, when non-nil, wraps the proxy client's transport with the
+	// seeded deterministic fault proxy (internal/dserve/chaos) and mounts
+	// the POST /internal/chaos control endpoint — CI and tests only.
+	Chaos *chaos.Proxy
 	// Client overrides the proxy HTTP client (default: 30s timeout).
 	Client *http.Client
 	// Logf, when non-nil, receives one line per lifecycle event.
@@ -93,9 +114,19 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = 15 * time.Second
 	}
+	if c.FanoutConcurrency <= 0 {
+		c.FanoutConcurrency = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.AntiEntropyInterval == 0 {
+		c.AntiEntropyInterval = 5 * time.Second
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 30 * time.Second}
 	}
+	c.Client = c.Chaos.Wrap(c.Client)
 	return c
 }
 
@@ -128,6 +159,7 @@ type Router struct {
 	ring     *Ring
 	workers  map[string]*workerEntry
 	graphMus map[string]*sync.Mutex // per-graph write-fan-out serialization
+	rng      *rand.Rand             // seeded; guarded by mu (backoff jitter)
 
 	rr   atomic.Uint64 // read-rotation cursor
 	stop chan struct{}
@@ -148,8 +180,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		ring:     NewRing(cfg.VirtualNodes),
 		workers:  make(map[string]*workerEntry),
 		graphMus: make(map[string]*sync.Mutex),
+		rng:      rand.New(rand.NewSource(int64(cfg.Seed))),
 		stop:     make(chan struct{}),
 	}
+	cfg.Chaos.SetSink(rt.metrics.Add)
 	for _, raw := range cfg.Workers {
 		u, err := normalizeWorkerURL(raw)
 		if err != nil {
@@ -159,6 +193,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	rt.wg.Add(1)
 	go rt.probeLoop()
+	if cfg.AntiEntropyInterval > 0 {
+		rt.wg.Add(1)
+		go rt.antiEntropyLoop()
+	}
 	return rt, nil
 }
 
@@ -260,10 +298,21 @@ func (rt *Router) markFailed(u string, err string) {
 	if w.healthy && w.fails >= rt.cfg.FailAfter {
 		w.healthy = false
 		w.backoff = rt.cfg.BackoffBase
-		w.nextDue = time.Now().Add(w.backoff)
+		w.nextDue = time.Now().Add(rt.jitteredLocked(w.backoff))
 		rt.metrics.Add("router_worker_ejected", 1)
 		rt.logf("dserve: router: ejected worker %s after %d failures (%s)", u, w.fails, err)
 	}
+}
+
+// jitteredLocked spreads a backoff by up to 25% of itself, drawn from the
+// router's seeded RNG — ejected workers sharing one outage re-probe
+// staggered instead of in lockstep, and the same Seed reproduces the
+// same schedule. Callers hold rt.mu.
+func (rt *Router) jitteredLocked(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d + time.Duration(rt.rng.Int63n(int64(d)/4+1))
 }
 
 // markHealthy records a success (probe or registration heartbeat),
@@ -370,7 +419,7 @@ func (rt *Router) recordProbeFailure(u, errStr string) {
 	if w.healthy {
 		w.nextDue = time.Now().Add(rt.cfg.ProbeInterval)
 	} else {
-		w.nextDue = time.Now().Add(w.backoff)
+		w.nextDue = time.Now().Add(rt.jitteredLocked(w.backoff))
 	}
 }
 
@@ -391,6 +440,8 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /internal/register", rt.handleRegister)
 	mux.HandleFunc("GET /internal/workers", rt.handleWorkers)
 	mux.HandleFunc("POST /internal/drain", rt.handleDrain)
+	mux.HandleFunc("POST /internal/chaos", rt.handleChaos)
+	mux.HandleFunc("GET /internal/chaos", rt.handleChaosStatus)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -588,11 +639,16 @@ func (rt *Router) graphMu(graph string) *sync.Mutex {
 	return m
 }
 
-// fanoutWrite applies one write to every replica of the graph,
-// sequentially and under the graph's write lock so all replicas see
-// mutation epochs in the same order. The first success is relayed to the
-// client; a definitive upstream rejection (4xx) is relayed immediately —
-// rejections are deterministic, so no replica applied it.
+// fanoutWrite applies one write to every replica of the graph: a bounded
+// concurrent fan-out (FanoutConcurrency in flight) under the graph's
+// write lock, so concurrent writes to one graph still reach every replica
+// in the same order. Per-replica accounting is unchanged from the
+// sequential fan-out: the first success in ring order is relayed and any
+// replica that missed the write counts one router_mutate_partial; with no
+// success, a deterministic rejection (4xx — bad batch, unknown graph,
+// per-worker backpressure) is relayed as-is, and transport/5xx failures
+// everywhere answer 502. Replicas that missed an applied write heal via
+// the anti-entropy loop's WAL-suffix or snapshot repair.
 func (rt *Router) fanoutWrite(w http.ResponseWriter, graph, pathAndQuery, contentType string, body []byte) {
 	all, _ := rt.replicaSet(graph)
 	if len(all) == 0 {
@@ -605,48 +661,55 @@ func (rt *Router) fanoutWrite(w http.ResponseWriter, graph, pathAndQuery, conten
 	mu.Lock()
 	defer mu.Unlock()
 
-	var firstOK *attempt
-	okCount, failCount := 0, 0
-	var last attempt
-	for _, target := range all {
-		a := rt.forward(target, pathAndQuery, contentType, body)
+	results := make([]attempt, len(all))
+	sem := make(chan struct{}, rt.cfg.FanoutConcurrency)
+	var wg sync.WaitGroup
+	for i, target := range all {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = rt.forward(target, pathAndQuery, contentType, body)
+		}(i, target)
+	}
+	wg.Wait()
+
+	var firstOK, firstReject *attempt
+	okCount := 0
+	var lastFail attempt
+	for i := range results {
+		a := results[i]
 		switch {
 		case a.err == nil && a.status < 400:
 			okCount++
 			if firstOK == nil {
-				cp := a
-				firstOK = &cp
+				firstOK = &results[i]
 			}
-			rt.markHealthy(target)
+			rt.markHealthy(all[i])
 		case a.err == nil && a.status < 500:
-			// Deterministic rejection (bad batch, unknown graph on this
-			// worker, backpressure): relay as-is. 429s are per-worker
-			// backpressure — surface them rather than best-effort applying
-			// to a subset, which would silently diverge the replicas.
-			relay(w, a)
-			if okCount > 0 {
-				rt.metrics.Add("router_mutate_partial", 1)
+			if firstReject == nil {
+				firstReject = &results[i]
 			}
-			return
 		default:
-			failCount++
-			last = a
+			lastFail = a
 			rt.metrics.Add("router_proxy_errors", 1)
-			rt.markFailed(target, attemptError(a))
+			rt.markFailed(all[i], attemptError(a))
 		}
 	}
-	if firstOK == nil {
+	switch {
+	case firstOK != nil:
+		if okCount < len(all) {
+			rt.metrics.Add("router_mutate_partial", 1)
+		}
+		relay(w, *firstOK)
+	case firstReject != nil:
+		relay(w, *firstReject)
+	default:
 		rt.metrics.Add("router_exhausted", 1)
 		writeError(w, http.StatusBadGateway, "write failed on all %d replicas of graph %q: %s",
-			len(all), graph, attemptError(last))
-		return
+			len(all), graph, attemptError(lastFail))
 	}
-	if failCount > 0 {
-		// Applied on a subset: the failed replicas resynchronize via
-		// snapshot when they rejoin (OPERATIONS.md "Troubleshooting").
-		rt.metrics.Add("router_mutate_partial", 1)
-	}
-	relay(w, *firstOK)
 }
 
 func (rt *Router) handleMutate(w http.ResponseWriter, r *http.Request) {
@@ -784,6 +847,51 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (rt *Router) handleWorkers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rt.Workers())
+}
+
+// handleChaos drives the chaos proxy's explicit faults (partition/heal a
+// worker) — 404 unless the router was built with RouterConfig.Chaos, so
+// production routers expose no fault surface.
+func (rt *Router) handleChaos(w http.ResponseWriter, r *http.Request) {
+	if rt.cfg.Chaos == nil {
+		writeError(w, http.StatusNotFound, "chaos proxy not enabled on this router")
+		return
+	}
+	var req ChaosRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad chaos body: %v", err)
+		return
+	}
+	switch {
+	case req.Partition != "":
+		rt.cfg.Chaos.Partition(req.Partition)
+		rt.logf("dserve: router: chaos partitioned %s", req.Partition)
+	case req.Heal != "":
+		rt.cfg.Chaos.Heal(req.Heal)
+		rt.logf("dserve: router: chaos healed %s", req.Heal)
+	case req.HealAll:
+		rt.cfg.Chaos.HealAll()
+		rt.logf("dserve: router: chaos healed all partitions")
+	default:
+		writeError(w, http.StatusBadRequest, "chaos request needs partition, heal, or heal_all")
+		return
+	}
+	rt.writeChaosStatus(w)
+}
+
+func (rt *Router) handleChaosStatus(w http.ResponseWriter, r *http.Request) {
+	if rt.cfg.Chaos == nil {
+		writeError(w, http.StatusNotFound, "chaos proxy not enabled on this router")
+		return
+	}
+	rt.writeChaosStatus(w)
+}
+
+func (rt *Router) writeChaosStatus(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, ChaosStatus{
+		Partitioned: rt.cfg.Chaos.Partitioned(),
+		Events:      rt.cfg.Chaos.EventCount(),
+	})
 }
 
 // handleDrain cordons (or readmits) a worker: a draining worker keeps its

@@ -322,7 +322,108 @@ func TestRouterRegistrationAndDrain(t *testing.T) {
 	}
 }
 
-// TestRouterStreamFanout checks NDJSON bulk ingestion through the router
+// TestRouterFanoutPartial pins the parallel fan-out accounting: with one
+// replica dead, a write still succeeds on the live one (the client sees
+// 200) and the miss is counted as router_mutate_partial — the signal the
+// anti-entropy loop later turns into a repair.
+func TestRouterFanoutPartial(t *testing.T) {
+	s, ts := newServeNode(t)
+	rt, rts := newTestRouter(t, RouterConfig{
+		Workers:     []string{ts.URL, "http://127.0.0.1:1"}, // second replica unreachable
+		Replication: 2,
+	})
+	code, body := postJSON(t, rts.URL+"/v1/mutate", serve.MutateRequest{
+		Graph: "g", Edges: []serve.EdgeJSON{{Src: 0, Dst: 150, Weight: 0.7}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("partial mutate: HTTP %d: %s", code, body)
+	}
+	if epoch, err := s.GraphEpoch("g"); err != nil || epoch != 1 {
+		t.Fatalf("live replica epoch = %d (%v), want 1", epoch, err)
+	}
+	if got := rt.Metrics().Counter("router_mutate_partial"); got != 1 {
+		t.Fatalf("router_mutate_partial = %d, want 1", got)
+	}
+	if rt.Metrics().Counter("router_proxy_errors") == 0 {
+		t.Error("dead replica's failure not counted")
+	}
+
+	// A deterministic rejection from every replica (unknown graph → 404)
+	// is relayed as-is, not masked as a 502.
+	code, _ = postJSON(t, rts.URL+"/v1/mutate", serve.MutateRequest{
+		Graph: "nope", Edges: []serve.EdgeJSON{{Src: 0, Dst: 1}},
+	})
+	if code != http.StatusNotFound {
+		t.Fatalf("all-reject fan-out: HTTP %d, want the workers' 404 relayed", code)
+	}
+}
+
+// TestRouterFanoutConcurrent checks a wide fan-out actually reaches every
+// replica under the bounded-concurrency path (FanoutConcurrency smaller
+// than the replica count forces queueing through the semaphore).
+func TestRouterFanoutConcurrent(t *testing.T) {
+	servers := make([]*serve.Server, 5)
+	urls := make([]string, 5)
+	for i := range servers {
+		s, ts := newServeNode(t)
+		servers[i], urls[i] = s, ts.URL
+	}
+	rt, rts := newTestRouter(t, RouterConfig{
+		Workers:           urls,
+		Replication:       5,
+		FanoutConcurrency: 2,
+	})
+	code, body := postJSON(t, rts.URL+"/v1/mutate", serve.MutateRequest{
+		Graph: "g", Edges: []serve.EdgeJSON{{Src: 1, Dst: 160, Weight: 0.2}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("mutate: HTTP %d: %s", code, body)
+	}
+	for i, s := range servers {
+		if epoch, err := s.GraphEpoch("g"); err != nil || epoch != 1 {
+			t.Errorf("replica %d epoch = %d (%v), want 1", i, epoch, err)
+		}
+	}
+	if got := rt.Metrics().Counter("router_mutate_partial"); got != 0 {
+		t.Errorf("router_mutate_partial = %d on a full fan-out", got)
+	}
+}
+
+// TestRouterJitterDeterminism pins the seeded backoff jitter: the same
+// Seed draws the same schedule, and every draw stays in [d, 1.25d].
+func TestRouterJitterDeterminism(t *testing.T) {
+	draw := func(seed uint64) []time.Duration {
+		rt, _ := newTestRouter(t, RouterConfig{Seed: seed})
+		out := make([]time.Duration, 32)
+		rt.mu.Lock()
+		for i := range out {
+			out[i] = rt.jitteredLocked(time.Second)
+		}
+		rt.mu.Unlock()
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < time.Second || a[i] > time.Second+time.Second/4 {
+			t.Fatalf("draw %d = %v outside [1s, 1.25s]", i, a[i])
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew the identical jitter schedule")
+	}
+}
+
 // reaches every replica.
 func TestRouterStreamFanout(t *testing.T) {
 	sA, tsA := newServeNode(t)

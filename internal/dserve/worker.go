@@ -11,6 +11,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +36,16 @@ type WorkerConfig struct {
 	SnapshotDir string
 	// SnapshotEvery is the persist period (default 30s).
 	SnapshotEvery time.Duration
+	// WALDir enables the durable mutation WAL: one directory per graph
+	// (<dir>/<graph>/, graph name path-escaped) of JSON-lines segments.
+	// Every applied mutation epoch is appended and fsynced before the
+	// mutation is acknowledged; on restart ReplayWAL re-applies the tail
+	// past the last snapshot, and the anti-entropy loop ships suffixes to
+	// lagging peers. Empty disables the WAL.
+	WALDir string
+	// WALSegmentBytes is the segment rotation threshold (default 1 MiB).
+	// Segments fully covered by a persisted snapshot are deleted.
+	WALSegmentBytes int64
 	// Heartbeat is the re-registration period (default 5s). Heartbeats keep
 	// a restarted router's worker table warm and double as a readmission
 	// signal after an ejection.
@@ -70,6 +81,9 @@ func (c WorkerConfig) withDefaults() (WorkerConfig, error) {
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 30 * time.Second
 	}
+	if c.WALSegmentBytes <= 0 {
+		c.WALSegmentBytes = 1 << 20
+	}
 	if c.Heartbeat <= 0 {
 		c.Heartbeat = 5 * time.Second
 	}
@@ -83,32 +97,287 @@ func (c WorkerConfig) withDefaults() (WorkerConfig, error) {
 // registration heartbeats, snapshot persistence, the peer snapshot
 // endpoint, and warm restart from the newest local or peer snapshot.
 type Worker struct {
-	cfg WorkerConfig
-	srv *serve.Server
+	cfg  WorkerConfig
+	srv  *serve.Server
+	wals map[string]*WAL // per-graph mutation logs; nil when WALDir is unset
 }
 
 // NewWorker builds a Worker around cfg.Server and registers the worker_*
 // counters into the server's metrics catalogue, so one scrape of the
-// worker's /metrics covers both tiers.
+// worker's /metrics covers both tiers. With a WALDir it also opens (and
+// tail-repairs) each graph's mutation log and installs the serve-layer
+// mutation hook, so every acknowledged epoch is on disk before the
+// client hears about it.
 func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	cfg.Server.Metrics().Register(workerCounters, nil)
-	return &Worker{cfg: cfg, srv: cfg.Server}, nil
+	wk := &Worker{cfg: cfg, srv: cfg.Server}
+	if cfg.WALDir != "" {
+		wk.wals = make(map[string]*WAL)
+		for _, name := range cfg.Server.GraphNames() {
+			w, err := openWAL(filepath.Join(cfg.WALDir, url.PathEscape(name)), cfg.WALSegmentBytes)
+			if err != nil {
+				return nil, fmt.Errorf("dserve: open wal for graph %q: %w", name, err)
+			}
+			if n := w.TailDropped(); n > 0 {
+				wk.srv.Metrics().Add("wal_tail_dropped", int64(n))
+				wk.logf("dserve: worker: wal of %q: dropped %d torn tail piece(s)", name, n)
+			}
+			wk.wals[name] = w
+		}
+		cfg.Server.SetMutationHook(wk.onMutation)
+	}
+	return wk, nil
+}
+
+// onMutation is the serve-layer mutation hook: append the applied epoch
+// to the graph's WAL before the mutation is acknowledged. Re-fired hooks
+// during replay deduplicate inside Append (epoch at or below the last
+// logged is skipped).
+func (wk *Worker) onMutation(rec serve.MutationRecord) {
+	w := wk.wals[rec.Graph]
+	if w == nil {
+		return
+	}
+	appended, rotated, err := w.Append(walRecordOf(rec))
+	if err != nil {
+		wk.srv.Metrics().Add("wal_append_errors", 1)
+		wk.logf("dserve: worker: wal append of %q epoch %d: %v", rec.Graph, rec.Epoch, err)
+		return
+	}
+	if rotated {
+		wk.srv.Metrics().Add("wal_segments_rotated", 1)
+	}
+	if appended {
+		wk.srv.Metrics().Add("wal_appends", 1)
+	}
+}
+
+// ReplayWAL re-applies each graph's logged tail past the resident epoch —
+// call after RestoreLocal, before serving traffic. A restarted worker
+// thereby recovers every mutation acknowledged after its last snapshot:
+// the snapshot seeds the result cache at its epoch, the replayed batches
+// rebuild the mutation history up to the logged epoch, and the first
+// query warm-starts instead of cold-solving. A gap (snapshot newer than
+// the log's coverage, or a hole) stops replay for that graph and counts
+// wal_replay_errors — the anti-entropy loop heals the remainder.
+func (wk *Worker) ReplayWAL() {
+	for _, name := range wk.srv.GraphNames() {
+		w := wk.wals[name]
+		if w == nil {
+			continue
+		}
+		epoch, err := wk.srv.GraphEpoch(name)
+		if err != nil {
+			continue
+		}
+		recs, err := w.TailAfter(epoch)
+		if err != nil {
+			wk.srv.Metrics().Add("wal_replay_errors", 1)
+			wk.logf("dserve: worker: wal replay of %q past epoch %d: %v", name, epoch, err)
+			continue
+		}
+		for _, rec := range recs {
+			applied, err := wk.srv.ApplyReplay(rec.mutationRecord(name))
+			if err != nil {
+				wk.srv.Metrics().Add("wal_replay_errors", 1)
+				wk.logf("dserve: worker: wal replay of %q epoch %d: %v", name, rec.Epoch, err)
+				break
+			}
+			if applied {
+				wk.srv.Metrics().Add("wal_replayed_batches", 1)
+			}
+		}
+		if cur, err := wk.srv.GraphEpoch(name); err == nil && cur > epoch {
+			wk.logf("dserve: worker: wal replay advanced %q from epoch %d to %d", name, epoch, cur)
+		}
+	}
 }
 
 // Server returns the wrapped serve.Server.
 func (wk *Worker) Server() *serve.Server { return wk.srv }
 
 // Handler returns the worker's routing table: the wrapped server's full
-// /v1/* surface plus GET /internal/snapshot for peers.
+// /v1/* surface plus the peer endpoints — GET /internal/snapshot,
+// GET /internal/digest, GET /internal/wal, and POST /internal/repair.
 func (wk *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /internal/snapshot", wk.handleSnapshot)
+	mux.HandleFunc("GET /internal/digest", wk.handleDigest)
+	mux.HandleFunc("GET /internal/wal", wk.handleWALTail)
+	mux.HandleFunc("POST /internal/repair", wk.handleRepair)
 	mux.Handle("/", wk.srv.Handler())
 	return mux
+}
+
+// handleDigest serves ?graph='s (epoch, state digest) pair — the router's
+// anti-entropy unit of comparison, and what loadgen's divergence check
+// polls.
+func (wk *Worker) handleDigest(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("graph")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing ?graph=name")
+		return
+	}
+	info, err := wk.srv.StateDigest(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	wk.srv.Metrics().Add("antientropy_digests_served", 1)
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleWALTail ships the WAL records after ?after= to a repairing peer,
+// answering 410 Gone when the log cannot produce the suffix (no WAL,
+// truncated coverage, or a hole) — the peer then falls back to a full
+// snapshot fetch.
+func (wk *Worker) handleWALTail(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("graph")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing ?graph=name")
+		return
+	}
+	after, err := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad ?after=: %v", err)
+		return
+	}
+	wal := wk.wals[name]
+	if wal == nil {
+		wk.srv.Metrics().Add("antientropy_wal_gone", 1)
+		writeError(w, http.StatusGone, "no wal for graph %q", name)
+		return
+	}
+	recs, err := wal.TailAfter(after)
+	if errors.Is(err, ErrWALTruncated) {
+		wk.srv.Metrics().Add("antientropy_wal_gone", 1)
+		writeError(w, http.StatusGone, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	info, err := wk.srv.StateDigest(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	wk.srv.Metrics().Add("antientropy_wal_served", 1)
+	writeJSON(w, http.StatusOK, WALTailResponse{
+		Graph:   name,
+		Epoch:   info.Epoch,
+		Digest:  info.Digest,
+		Records: recs,
+	})
+}
+
+// handleRepair runs one repair against the donor peer named in the body.
+func (wk *Worker) handleRepair(w http.ResponseWriter, r *http.Request) {
+	var req RepairRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad repair body: %v", err)
+		return
+	}
+	if req.Graph == "" || req.Peer == "" {
+		writeError(w, http.StatusBadRequest, "repair needs graph and peer")
+		return
+	}
+	peer, err := normalizeWorkerURL(req.Peer)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad peer url %q: %v", req.Peer, err)
+		return
+	}
+	resp, err := wk.repairFrom(r.Context(), req.Graph, peer)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// repairFrom catches one graph up from a donor peer: replay the donor's
+// WAL suffix past the local epoch when it covers the gap and converges
+// to the donor's digest; otherwise adopt the donor's full snapshot. This
+// is the no-restart heal path — a replica that missed a fan-out write
+// resynchronizes in place, keeping its cache and serving throughout.
+func (wk *Worker) repairFrom(ctx context.Context, graphName, peer string) (RepairResponse, error) {
+	cur, err := wk.srv.GraphEpoch(graphName)
+	if err != nil {
+		wk.srv.Metrics().Add("antientropy_repair_errors", 1)
+		return RepairResponse{}, err
+	}
+	if tail, err := wk.fetchPeerWAL(ctx, peer, graphName, cur); err == nil {
+		replayed, replayErr := wk.replayTail(graphName, tail.Records)
+		if replayErr == nil {
+			if local, err := wk.srv.StateDigest(graphName); err == nil &&
+				(local.Epoch > tail.Epoch ||
+					(local.Epoch == tail.Epoch && local.Digest == tail.Digest)) {
+				// Converged to (or past — a concurrent fan-out landed here
+				// too) the donor's shipped state.
+				wk.srv.Metrics().Add("antientropy_repairs_applied", 1)
+				wk.logf("dserve: worker: repaired %q to epoch %d via wal suffix from %s (%d batches)",
+					graphName, local.Epoch, peer, replayed)
+				return RepairResponse{Graph: graphName, Mode: "wal", Epoch: local.Epoch, Replayed: replayed}, nil
+			}
+		}
+	}
+	// WAL suffix unavailable, incomplete, or it did not converge: full
+	// snapshot transfer.
+	snap, err := wk.fetchPeerSnapshot(ctx, peer, graphName)
+	if err != nil {
+		wk.srv.Metrics().Add("antientropy_repair_errors", 1)
+		return RepairResponse{}, fmt.Errorf("repair of %q: wal suffix unusable and snapshot fetch from %s failed: %v",
+			graphName, peer, err)
+	}
+	wk.adoptSnapshot(snap, "repair peer "+peer)
+	wk.srv.Metrics().Add("antientropy_snapshot_fallbacks", 1)
+	epoch, _ := wk.srv.GraphEpoch(graphName)
+	return RepairResponse{Graph: graphName, Mode: "snapshot", Epoch: epoch}, nil
+}
+
+// replayTail applies fetched WAL records in order, stopping at the first
+// failure.
+func (wk *Worker) replayTail(graphName string, recs []WALRecord) (int, error) {
+	replayed := 0
+	for _, rec := range recs {
+		applied, err := wk.srv.ApplyReplay(rec.mutationRecord(graphName))
+		if err != nil {
+			return replayed, err
+		}
+		if applied {
+			replayed++
+		}
+	}
+	return replayed, nil
+}
+
+// fetchPeerWAL pulls a graph's WAL suffix after the given epoch from a
+// peer. A 410 means the peer cannot produce it (truncated or no WAL).
+func (wk *Worker) fetchPeerWAL(ctx context.Context, peer, graph string, after uint64) (*WALTailResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/internal/wal?graph=%s&after=%d", peer, url.QueryEscape(graph), after), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wk.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("peer %s wal: status %d", peer, resp.StatusCode)
+	}
+	var tail WALTailResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxProxyRespBody)).Decode(&tail); err != nil {
+		return nil, err
+	}
+	return &tail, nil
 }
 
 // handleSnapshot serves the current snapshot of ?graph=name to a peer.
@@ -176,6 +445,15 @@ func (wk *Worker) persistOne(name string) error {
 		return err
 	}
 	wk.srv.Metrics().Add("worker_snapshot_saves", 1)
+	// The persisted snapshot now covers every epoch up to snap.Epoch:
+	// retire the WAL segments it makes redundant.
+	if wal := wk.wals[name]; wal != nil {
+		if n, err := wal.TruncateThrough(snap.Epoch); err != nil {
+			wk.logf("dserve: worker: truncate wal of %q: %v", name, err)
+		} else if n > 0 {
+			wk.srv.Metrics().Add("wal_segments_truncated", int64(n))
+		}
+	}
 	return nil
 }
 

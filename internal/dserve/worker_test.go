@@ -168,6 +168,154 @@ func TestWorkerPeerSyncThroughRouter(t *testing.T) {
 	<-doneB
 }
 
+// TestWorkerCrashReplayFromWAL is the durability tentpole test: a worker
+// acknowledges mutations after its last snapshot tick and then dies
+// without warning (no final persist — the kill -9 shape). A fresh worker
+// over the same directories restores the snapshot, replays the WAL tail
+// past it, and serves the full acknowledged epoch with zero cold solves.
+func TestWorkerCrashReplayFromWAL(t *testing.T) {
+	snapDir, walDir := t.TempDir(), t.TempDir()
+	wk1, ts1 := newWorkerNode(t, func(c *WorkerConfig) {
+		c.SnapshotDir = snapDir
+		c.WALDir = walDir
+	})
+	// Epoch 1 with a cached fixed point, snapshotted.
+	solveAndMutate(t, ts1.URL)
+	if err := wk1.PersistSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	// Two more acknowledged mutations after the snapshot tick; then the
+	// process "dies" — no persist, the WAL is the only durable record.
+	for _, e := range [][2]uint32{{5, 171}, {7, 172}} {
+		code, body := postJSON(t, ts1.URL+"/v1/mutate", serve.MutateRequest{
+			Graph: "g", Edges: []serve.EdgeJSON{{Src: e[0], Dst: e[1], Weight: 0.3}},
+		})
+		if code != 200 {
+			t.Fatalf("post-snapshot mutate: HTTP %d: %s", code, body)
+		}
+	}
+	if got := wk1.Server().Metrics().Counter("wal_appends"); got != 3 {
+		t.Fatalf("wal_appends = %d, want 3 (every acknowledged epoch logged)", got)
+	}
+
+	wk2, ts2 := newWorkerNode(t, func(c *WorkerConfig) {
+		c.SnapshotDir = snapDir
+		c.WALDir = walDir
+	})
+	wk2.RestoreLocal()
+	wk2.ReplayWAL()
+	if got := wk2.Server().Metrics().Counter("wal_replayed_batches"); got != 2 {
+		t.Fatalf("wal_replayed_batches = %d, want 2 (the post-snapshot tail)", got)
+	}
+	if epoch, err := wk2.Server().GraphEpoch("g"); err != nil || epoch != 3 {
+		t.Fatalf("restarted epoch = %d (%v), want 3", epoch, err)
+	}
+	resp, code := queryVia(t, ts2.URL)
+	if code != 200 || resp == nil {
+		t.Fatalf("query after crash restart: HTTP %d", code)
+	}
+	if resp.Epoch != 3 {
+		t.Fatalf("restarted worker answers epoch %d, want 3", resp.Epoch)
+	}
+	if n := wk2.Server().Metrics().Counter("query_cold_solves"); n != 0 {
+		t.Fatalf("restarted worker cold-solved %d times, want 0 (snapshot + wal replay should warm-start)", n)
+	}
+	// Replayed state and the pre-crash state digest identically.
+	d1, err := wk1.Server().StateDigest("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := wk2.Server().StateDigest("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("post-replay digest %+v differs from pre-crash %+v", d2, d1)
+	}
+}
+
+// TestWorkerPeerSyncStaleRejected pins the stale-snapshot edge: a peer
+// snapshot older than the resident state is rejected (counted, state
+// untouched), even when a concurrent mutation is racing the adoption.
+func TestWorkerPeerSyncStaleRejected(t *testing.T) {
+	_, tsA := newWorkerNode(t, nil) // the stale peer: epoch 1
+	solveAndMutate(t, tsA.URL)
+	wkB, tsB := newWorkerNode(t, nil) // ahead of the peer: epoch 2
+	solveAndMutate(t, tsB.URL)
+	mutateDirect(t, tsB.URL, 9, 173)
+
+	// Race adoption against live mutations: ImportSnapshot must reject the
+	// stale image without disturbing the concurrent write path.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ {
+			mutateDirect(t, tsB.URL, uint32(10+i), 174)
+		}
+	}()
+	wkB.syncFromPeers(context.Background(), map[string][]string{"g": {tsA.URL}})
+	<-done
+
+	if got := wkB.Server().Metrics().Counter("worker_snapshot_stale"); got != 1 {
+		t.Fatalf("worker_snapshot_stale = %d, want 1", got)
+	}
+	if got := wkB.Server().Metrics().Counter("worker_snapshot_restores"); got != 0 {
+		t.Fatalf("stale snapshot adopted (restores=%d)", got)
+	}
+	if epoch, err := wkB.Server().GraphEpoch("g"); err != nil || epoch != 10 {
+		t.Fatalf("epoch after stale sync + 8 concurrent mutations = %d (%v), want 10", epoch, err)
+	}
+}
+
+// TestWorkerPersistRacingMutation races PersistSnapshots against a stream
+// of mutations: every persist must write a self-consistent snapshot (the
+// export is epoch-atomic), the skip-if-current check must not lose a
+// newer epoch, and the final on-disk image must decode at some reached
+// epoch.
+func TestWorkerPersistRacingMutation(t *testing.T) {
+	dir := t.TempDir()
+	wk, ts := newWorkerNode(t, func(c *WorkerConfig) { c.SnapshotDir = dir })
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 16; i++ {
+			mutateDirect(t, ts.URL, uint32(i), 175)
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		if err := wk.PersistSnapshots(); err != nil {
+			t.Errorf("persist %d: %v", i, err)
+		}
+	}
+	<-done
+	// One more persist with the writers quiesced: skip-if-current must
+	// still notice the epochs the racing writers added.
+	if err := wk.PersistSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := readSnapshotFile(filepath.Join(dir, "g.snap.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := wk.Server().GraphEpoch("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != epoch {
+		t.Fatalf("final snapshot at epoch %d, resident %d", snap.Epoch, epoch)
+	}
+	saves := wk.Server().Metrics().Counter("worker_snapshot_saves")
+	if saves == 0 {
+		t.Fatal("no snapshot saved")
+	}
+	if err := wk.PersistSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	if got := wk.Server().Metrics().Counter("worker_snapshot_saves"); got != saves {
+		t.Fatalf("persist at an unchanged epoch saved again (%d -> %d)", saves, got)
+	}
+}
+
 // TestWorkerConfigValidation pins the config contract.
 func TestWorkerConfigValidation(t *testing.T) {
 	if _, err := NewWorker(WorkerConfig{}); err == nil {

@@ -1,0 +1,148 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"graphpulse/internal/dserve"
+	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/serve"
+)
+
+// newReplica boots one worker-wrapped serve instance over the
+// deterministic test graph, so its handler exposes /internal/digest.
+func newReplica(t *testing.T) *httptest.Server {
+	t.Helper()
+	g, err := gen.ErdosRenyi(128, 512, true, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Graphs: []serve.GraphSpec{{Name: "g", Graph: g}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk, err := dserve.NewWorker(dserve.WorkerConfig{Server: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(wk.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return ts
+}
+
+func mutateReplica(t *testing.T, url string) {
+	t.Helper()
+	raw, _ := json.Marshal(serve.MutateRequest{
+		Graph: "g", Edges: []serve.EdgeJSON{{Src: 2, Dst: 100, Weight: 0.4}},
+	})
+	resp, err := http.Post(url+"/v1/mutate", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestVerifyReplicas pins the divergence check: identical replicas pass,
+// a replica that missed a write fails with a digest mismatch, and
+// re-applying the missed write restores agreement (including the direct
+// per-replica answer comparison).
+func TestVerifyReplicas(t *testing.T) {
+	a, b := newReplica(t), newReplica(t)
+	cfg := Config{Graph: "g", Algorithm: "pr"}
+	replicas := []string{a.URL, b.URL}
+
+	rep, err := VerifyReplicas(context.Background(), cfg, replicas, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("identical replicas failed verification: %+v", rep.Mismatches)
+	}
+	if len(rep.Replicas) != 2 || rep.Replicas[0].Digest != rep.Replicas[1].Digest {
+		t.Fatalf("replica states = %+v", rep.Replicas)
+	}
+
+	// One replica misses a write: the check must fail fast with a digest
+	// mismatch (the short wait keeps the poll from masking it).
+	mutateReplica(t, a.URL)
+	rep, err = VerifyReplicas(context.Background(), cfg, replicas, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.Converged {
+		t.Fatalf("diverged replicas passed verification: %+v", rep)
+	}
+	if len(rep.Mismatches) == 0 {
+		t.Fatal("no mismatch reported for diverged replicas")
+	}
+
+	// Re-applying the missed write re-converges both layers: digests and
+	// the per-replica query answers.
+	mutateReplica(t, b.URL)
+	rep, err = VerifyReplicas(context.Background(), cfg, replicas, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("re-converged replicas failed verification: %+v", rep.Mismatches)
+	}
+	for _, st := range rep.Replicas {
+		if st.Epoch != 1 || st.Sum == 0 {
+			t.Fatalf("replica state after reconvergence = %+v", st)
+		}
+	}
+}
+
+// TestVerifyReplicasUnreachable pins the unreachable-replica outcome: the
+// report fails with a fetch error rather than silently passing on the
+// reachable subset.
+func TestVerifyReplicasUnreachable(t *testing.T) {
+	a := newReplica(t)
+	rep, err := VerifyReplicas(context.Background(), Config{Graph: "g", Algorithm: "pr"},
+		[]string{a.URL, "http://127.0.0.1:1"}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("verification passed with an unreachable replica")
+	}
+	if len(rep.Mismatches) == 0 {
+		t.Fatal("no mismatch recorded for the unreachable replica")
+	}
+	if _, err := VerifyReplicas(context.Background(), Config{Graph: "g"}, nil, time.Second); err == nil {
+		t.Fatal("empty replica list accepted")
+	}
+}
+
+// TestSumsClose pins the float comparison used on per-replica answers.
+func TestSumsClose(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{1e6, 1e6 * (1 + 1e-8), true},
+		{1e6, 1e6 * (1 + 2e-2), true}, // warm-vs-cold solver slack: tolerated
+		{1e6, 1.1e6, false},
+		{0, 1e-3, true},
+		{0, 1, false},
+	}
+	for _, c := range cases {
+		if got := sumsClose(c.a, c.b); got != c.want {
+			t.Errorf("sumsClose(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

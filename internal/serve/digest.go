@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"graphpulse/internal/graph"
+)
+
+// MutationRecord is the durable form of one applied mutation epoch: the
+// exact edges added and removed when the named graph moved to Epoch. It
+// is what the distributed tier's write-ahead log persists and what
+// ApplyReplay consumes — Added is the post-deduplication applied batch
+// and Removed the edges actually deleted (user deletes and window
+// expirations alike), so replaying the record against the epoch-1 state
+// reproduces the epoch state exactly.
+type MutationRecord struct {
+	Graph   string
+	Epoch   uint64
+	Time    time.Time
+	Added   []graph.Edge
+	Removed []graph.Edge
+}
+
+// MutationHook observes every applied mutation epoch. It is invoked
+// synchronously while the graph's write lock is held — after the new
+// epoch is built but before the mutation is acknowledged — so a durable
+// hook (a WAL append + fsync) guarantees no acknowledged epoch is ever
+// lost. The hook must be fast and must not call back into the Server.
+type MutationHook func(MutationRecord)
+
+// SetMutationHook installs fn on every resident graph. Call it once,
+// before serving traffic. A nil fn removes the hook.
+func (s *Server) SetMutationHook(fn MutationHook) {
+	for _, rg := range s.graphs {
+		rg.mu.Lock()
+		rg.hook = fn
+		rg.mu.Unlock()
+	}
+}
+
+// ErrReplayGap is returned by ApplyReplay when a record does not extend
+// the resident epoch by exactly one — the log has a hole (typically a
+// snapshot adoption jumped the epoch past the log's coverage), so replay
+// must stop and defer to anti-entropy repair.
+var ErrReplayGap = fmt.Errorf("serve: replay record does not extend resident epoch")
+
+// ApplyReplay applies one logged mutation record: a record at or below
+// the resident epoch is skipped (applied=false, already incorporated), a
+// record at exactly epoch+1 is applied, anything else fails with
+// ErrReplayGap. Replayed batches go through the same rebuild path as live
+// mutations, so the mutation history (and with it warm-start coverage)
+// is reconstructed and the installed MutationHook fires again — hooks
+// that append to a WAL must deduplicate by epoch.
+func (s *Server) ApplyReplay(rec MutationRecord) (bool, error) {
+	rg, ok := s.graphs[rec.Graph]
+	if !ok {
+		return false, fmt.Errorf("serve: unknown graph %q", rec.Graph)
+	}
+	return rg.applyReplay(rec)
+}
+
+// DigestInfo is one graph's consistent (epoch, state digest) pair — the
+// unit of anti-entropy comparison across replicas. The digest covers the
+// graph state only (vertex count, weight mode, edge multiset in CSR
+// order); result caches legitimately differ between replicas and are
+// excluded.
+type DigestInfo struct {
+	Graph       string `json:"graph"`
+	Epoch       uint64 `json:"epoch"`
+	NumVertices int    `json:"num_vertices"`
+	NumEdges    int    `json:"num_edges"`
+	Digest      string `json:"digest"`
+}
+
+// StateDigest computes the named graph's DigestInfo. The (graph, epoch)
+// pair is captured atomically, so two replicas at the same epoch with
+// the same mutation sequence report identical digests.
+func (s *Server) StateDigest(name string) (DigestInfo, error) {
+	rg, ok := s.graphs[name]
+	if !ok {
+		return DigestInfo{}, fmt.Errorf("serve: unknown graph %q", name)
+	}
+	g, epoch := rg.snapshot()
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.NumVertices()))
+	h.Write(buf[:])
+	weighted := uint64(0)
+	if g.Weighted() {
+		weighted = 1
+	}
+	binary.LittleEndian.PutUint64(buf[:], weighted)
+	h.Write(buf[:])
+	for _, e := range g.Edges() {
+		binary.LittleEndian.PutUint32(buf[:4], e.Src)
+		binary.LittleEndian.PutUint32(buf[4:], e.Dst)
+		h.Write(buf[:])
+		w := float32(0)
+		if g.Weighted() {
+			w = e.Weight
+		}
+		binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(w))
+		h.Write(buf[:4])
+	}
+	return DigestInfo{
+		Graph:       name,
+		Epoch:       epoch,
+		NumVertices: g.NumVertices(),
+		NumEdges:    g.NumEdges(),
+		Digest:      fmt.Sprintf("%016x", h.Sum64()),
+	}, nil
+}

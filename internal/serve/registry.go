@@ -127,6 +127,10 @@ type residentGraph struct {
 	epoch   uint64
 	history []mutation
 	log     *stream.Log
+	// hook, when non-nil, observes every applied mutation epoch while the
+	// write lock is held (see Server.SetMutationHook) — the durability
+	// point the distributed tier's WAL appends at.
+	hook MutationHook
 }
 
 func loadResident(spec GraphSpec, cache *gen.Cache, histMax int) (*residentGraph, error) {
@@ -207,7 +211,7 @@ func (r *residentGraph) applyBatch(ins, dels []graph.Edge, now time.Time) (mutat
 		out.epoch, out.g = r.epoch, r.g
 		return out, nil
 	}
-	if err := r.rebuildLocked(applied, removed); err != nil {
+	if err := r.rebuildLocked(applied, removed, now); err != nil {
 		return mutateOutcome{}, err
 	}
 	out.epoch, out.g = r.epoch, r.g
@@ -227,32 +231,75 @@ func (r *residentGraph) expire(now time.Time) (int, error) {
 	if len(removed) == 0 {
 		return 0, nil
 	}
-	if err := r.rebuildLocked(nil, removed); err != nil {
+	if err := r.rebuildLocked(nil, removed, now); err != nil {
 		return 0, err
 	}
 	return len(removed), nil
 }
 
 // rebuildLocked materializes the log into a fresh CSR, bumps the epoch,
-// and records the (added, removed) change in the bounded history. Callers
-// hold the write lock and have already updated the log.
-func (r *residentGraph) rebuildLocked(added, removed []graph.Edge) error {
+// records the (added, removed) change in the bounded history, and fires
+// the mutation hook — the single point every epoch-advancing path (live
+// mutation, window expiry, WAL replay) goes through. Callers hold the
+// write lock and have already updated the log.
+func (r *residentGraph) rebuildLocked(added, removed []graph.Edge, at time.Time) error {
 	ng, err := graph.FromEdges(r.g.NumVertices(), r.log.Edges(), r.g.Weighted())
 	if err != nil {
 		return err
 	}
+	added = append([]graph.Edge(nil), added...)
+	removed = append([]graph.Edge(nil), removed...)
 	r.history = append(r.history, mutation{
 		epoch:   r.epoch + 1,
 		base:    r.g,
-		added:   append([]graph.Edge(nil), added...),
-		removed: append([]graph.Edge(nil), removed...),
+		added:   added,
+		removed: removed,
 	})
 	if len(r.history) > r.histMax {
 		r.history = r.history[len(r.history)-r.histMax:]
 	}
 	r.g = ng
 	r.epoch++
+	if r.hook != nil {
+		r.hook(MutationRecord{
+			Graph:   r.name,
+			Epoch:   r.epoch,
+			Time:    at,
+			Added:   added,
+			Removed: removed,
+		})
+	}
 	return nil
+}
+
+// applyReplay applies one logged mutation record (see Server.ApplyReplay):
+// skip at-or-below the resident epoch, apply at exactly epoch+1, fail on a
+// gap. Replay uses exact-multiset removal (stream.Log.RemoveExact) rather
+// than the endpoint-matching removal of live deletes: the record already
+// names the edges that were removed, and removing by endpoint could take
+// out extra edges that share endpoints with an expired one.
+func (r *residentGraph) applyReplay(rec MutationRecord) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec.Epoch <= r.epoch {
+		return false, nil
+	}
+	if rec.Epoch != r.epoch+1 {
+		return false, fmt.Errorf("%w: record epoch %d, resident epoch %d",
+			ErrReplayGap, rec.Epoch, r.epoch)
+	}
+	n := r.g.NumVertices()
+	for _, e := range rec.Added {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			return false, fmt.Errorf("serve: replay edge %d->%d outside vertex set (n=%d)", e.Src, e.Dst, n)
+		}
+	}
+	r.log.Append(stream.NormalizeWeights(rec.Added, r.g.Weighted()), rec.Time)
+	r.log.RemoveExact(rec.Removed)
+	if err := r.rebuildLocked(rec.Added, rec.Removed, rec.Time); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // dedupEdges drops exact (Src, Dst, Weight) duplicates within one insert

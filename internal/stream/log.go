@@ -77,6 +77,34 @@ func (l *Log) Remove(batch []graph.Edge) (removed []graph.Edge, missed int) {
 	return removed, missed
 }
 
+// RemoveExact removes, for each batch entry, exactly one live edge with
+// the same (Src, Dst, Weight) — oldest first — and returns how many were
+// removed. This is the exact-multiset removal WAL replay needs: the
+// replayed record already names the removed edges, so endpoint-matching
+// removal (Remove) would take out extra edges sharing endpoints with an
+// expired or deleted one. Entries matching no live edge are ignored.
+func (l *Log) RemoveExact(batch []graph.Edge) int {
+	if len(batch) == 0 {
+		return 0
+	}
+	need := make(map[graph.Edge]int, len(batch))
+	for _, e := range batch {
+		need[e]++
+	}
+	removed := 0
+	kept := l.edges[:0]
+	for _, te := range l.edges {
+		if need[te.Edge] > 0 {
+			need[te.Edge]--
+			removed++
+			continue
+		}
+		kept = append(kept, te)
+	}
+	l.edges = kept
+	return removed
+}
+
 // Expire removes every timestamped edge older than horizon at time now
 // and returns the expired edges (nil when nothing aged out). Permanent
 // base edges never expire.
