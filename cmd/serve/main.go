@@ -9,6 +9,11 @@
 //	serve -graph web=crawl.el -graph social=fb.bin      # graph files
 //	serve -graph wg=WG:mini -workers 8 -queue 128
 //	serve -graph wg=WG:tiny -window 5m                  # sliding-window mode
+//	serve -graph big=wg.graphpack -resident-bytes 33554432
+//
+// A .graphpack source (cmd/graphpack) is served out-of-core and
+// read-only: queries stream slices through the residency budget set by
+// -resident-bytes; mutation endpoints answer errors.
 //
 // With -worker the process joins a distributed serving tier behind
 // cmd/router (OPERATIONS.md): it registers with -router, heartbeats,
@@ -37,6 +42,7 @@ import (
 	"time"
 
 	"graphpulse/internal/dserve"
+	"graphpulse/internal/dserve/chaos"
 	"graphpulse/internal/serve"
 )
 
@@ -51,6 +57,7 @@ func main() {
 		compTO  = flag.Duration("compute-timeout", 120*time.Second, "bound on one pooled computation")
 		history = flag.Int("history", 8, "mutation batches retained per graph for warm starts")
 		window  = flag.Duration("window", 0, "sliding-window age applied to every -graph (0 = unbounded)")
+		resideB = flag.Int64("resident-bytes", 0, "out-of-core residency budget in bytes applied to every .graphpack -graph (0 = unlimited)")
 		tick    = flag.Duration("window-tick", time.Second, "period of the window expiry ticker")
 		coneMax = flag.Float64("cone-fraction", 0, "deletion-cone size cap as a fraction of vertices before falling back to a full replay (0 = default)")
 		sbatch  = flag.Int("stream-batch", 256, "ops per applied /v1/stream batch")
@@ -67,6 +74,7 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 5*time.Second, "router re-registration period (worker mode)")
 		walDir    = flag.String("wal-dir", "", "directory for per-graph mutation WALs (worker mode; empty disables the WAL)")
 		walSeg    = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size in bytes (0 = default 1MiB)")
+		chaosSpec = flag.String("chaos", "", "seeded fault spec for outbound worker HTTP, e.g. drop=0.01,truncate=0.001,seed=7 (worker mode; CI/tests only)")
 	)
 	var specs []serve.GraphSpec
 	flag.Func("graph", "resident graph as name=SOURCE; SOURCE is ABBREV:tier (e.g. WG:tiny) or a graph file (repeatable)", func(v string) error {
@@ -86,6 +94,11 @@ func main() {
 	if *window > 0 {
 		for i := range specs {
 			specs[i].Window = *window
+		}
+	}
+	if *resideB > 0 {
+		for i := range specs {
+			specs[i].ResidentBytes = *resideB
 		}
 	}
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -125,6 +138,17 @@ func main() {
 				logger.Fatalf("serve: cannot derive -advertise from -addr %q: %v (pass -advertise explicitly)", *addr, err)
 			}
 		}
+		var proxy *chaos.Proxy
+		if *chaosSpec != "" {
+			ccfg, err := chaos.ParseSpec(*chaosSpec)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			if proxy, err = chaos.New(ccfg); err != nil {
+				logger.Fatal(err)
+			}
+			logger.Printf("chaos proxy on outbound worker HTTP: %s", *chaosSpec)
+		}
 		wk, err := dserve.NewWorker(dserve.WorkerConfig{
 			Server:          srv,
 			RouterURL:       *routerURL,
@@ -134,6 +158,7 @@ func main() {
 			Heartbeat:       *heartbeat,
 			WALDir:          *walDir,
 			WALSegmentBytes: *walSeg,
+			Chaos:           proxy,
 			Logf:            logger.Printf,
 		})
 		if err != nil {

@@ -43,7 +43,7 @@ func (p *PageRankDelta) Propagate(delta Value, e EdgeContext) Value {
 func (p *PageRankDelta) InitState(graph.VertexID) Value { return 0 }
 
 // InitialEvents implements Algorithm: every vertex receives 1-α.
-func (p *PageRankDelta) InitialEvents(g *graph.CSR) []InitialEvent {
+func (p *PageRankDelta) InitialEvents(g graph.Adjacency) []InitialEvent {
 	out := make([]InitialEvent, g.NumVertices())
 	for v := range out {
 		out[v] = InitialEvent{Vertex: graph.VertexID(v), Delta: 1 - p.Alpha}
@@ -102,7 +102,7 @@ func (a *Adsorption) WantsWeights() bool { return true }
 func (a *Adsorption) InitState(graph.VertexID) Value { return 0 }
 
 // InitialEvents implements Algorithm: β·I_j for every vertex.
-func (a *Adsorption) InitialEvents(g *graph.CSR) []InitialEvent {
+func (a *Adsorption) InitialEvents(g graph.Adjacency) []InitialEvent {
 	out := make([]InitialEvent, g.NumVertices())
 	for v := range out {
 		inj := 1.0
@@ -153,7 +153,7 @@ func (s *SSSP) WantsWeights() bool { return true }
 func (s *SSSP) InitState(graph.VertexID) Value { return Infinity }
 
 // InitialEvents implements Algorithm: the root receives distance 0.
-func (s *SSSP) InitialEvents(*graph.CSR) []InitialEvent {
+func (s *SSSP) InitialEvents(graph.Adjacency) []InitialEvent {
 	return []InitialEvent{{Vertex: s.Root, Delta: 0}}
 }
 
@@ -188,7 +188,7 @@ func (b *BFS) Propagate(delta Value, _ EdgeContext) Value { return delta + 1 }
 func (b *BFS) InitState(graph.VertexID) Value { return Infinity }
 
 // InitialEvents implements Algorithm.
-func (b *BFS) InitialEvents(*graph.CSR) []InitialEvent {
+func (b *BFS) InitialEvents(graph.Adjacency) []InitialEvent {
 	return []InitialEvent{{Vertex: b.Root, Delta: 0}}
 }
 
@@ -221,7 +221,7 @@ func (r *Reach) Propagate(Value, EdgeContext) Value { return 0 }
 func (r *Reach) InitState(graph.VertexID) Value { return Infinity }
 
 // InitialEvents implements Algorithm.
-func (r *Reach) InitialEvents(*graph.CSR) []InitialEvent {
+func (r *Reach) InitialEvents(graph.Adjacency) []InitialEvent {
 	return []InitialEvent{{Vertex: r.Root, Delta: 0}}
 }
 
@@ -252,7 +252,7 @@ func (c *ConnectedComponents) Propagate(delta Value, _ EdgeContext) Value { retu
 func (c *ConnectedComponents) InitState(graph.VertexID) Value { return -1 }
 
 // InitialEvents implements Algorithm: every vertex proposes its own id.
-func (c *ConnectedComponents) InitialEvents(g *graph.CSR) []InitialEvent {
+func (c *ConnectedComponents) InitialEvents(g graph.Adjacency) []InitialEvent {
 	out := make([]InitialEvent, g.NumVertices())
 	for v := range out {
 		out[v] = InitialEvent{Vertex: graph.VertexID(v), Delta: Value(v)}
@@ -295,7 +295,7 @@ func (s *SSWP) WantsWeights() bool { return true }
 func (s *SSWP) InitState(graph.VertexID) Value { return math.Inf(-1) }
 
 // InitialEvents implements Algorithm.
-func (s *SSWP) InitialEvents(*graph.CSR) []InitialEvent {
+func (s *SSWP) InitialEvents(graph.Adjacency) []InitialEvent {
 	return []InitialEvent{{Vertex: s.Root, Delta: Infinity}}
 }
 
@@ -340,7 +340,7 @@ func (r *ReliablePath) WantsWeights() bool { return true }
 func (r *ReliablePath) InitState(graph.VertexID) Value { return 0 }
 
 // InitialEvents implements Algorithm: the root is reached with certainty.
-func (r *ReliablePath) InitialEvents(*graph.CSR) []InitialEvent {
+func (r *ReliablePath) InitialEvents(graph.Adjacency) []InitialEvent {
 	return []InitialEvent{{Vertex: r.Root, Delta: 1}}
 }
 

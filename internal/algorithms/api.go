@@ -67,8 +67,10 @@ type Algorithm interface {
 	Propagate(delta Value, e EdgeContext) Value
 	// InitState is the vertex-memory initialization (Table II's V_init).
 	InitState(v graph.VertexID) Value
-	// InitialEvents returns the bootstrap event set for g.
-	InitialEvents(g *graph.CSR) []InitialEvent
+	// InitialEvents returns the bootstrap event set for g. Implementations
+	// read only vertex-level shape (the interface keeps them runnable off
+	// the out-of-core store).
+	InitialEvents(g graph.Adjacency) []InitialEvent
 	// Changed is the local termination condition: it reports whether the
 	// state update old→new is significant enough to propagate.
 	Changed(old, new Value) bool

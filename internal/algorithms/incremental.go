@@ -123,7 +123,7 @@ type warmStart struct {
 
 func (w *warmStart) InitState(v graph.VertexID) Value { return w.state[v] }
 
-func (w *warmStart) InitialEvents(*graph.CSR) []InitialEvent { return w.seeds }
+func (w *warmStart) InitialEvents(graph.Adjacency) []InitialEvent { return w.seeds }
 
 // WarmStart returns alg reconfigured to resume from `state` with the given
 // seed events. The wrapper preserves Progressor and WantsWeights behaviour

@@ -28,7 +28,7 @@ const ctxPollInterval = 1024
 // FIFO queue and per-vertex coalescing. It is exact (not approximate) given
 // the algorithm's algebraic laws, and serves as the golden model that every
 // engine (accelerator, Ligra-style, Graphicionado-style) is tested against.
-func Solve(g *graph.CSR, alg Algorithm) *SolveResult {
+func Solve(g graph.Adjacency, alg Algorithm) *SolveResult {
 	res, _ := SolveCtx(nil, g, alg)
 	return res
 }
@@ -39,7 +39,7 @@ func Solve(g *graph.CSR, alg Algorithm) *SolveResult {
 // server deadline cancels a native solve and a cycle-level simulation
 // through one errors.Is check. A nil ctx disables cancellation and never
 // fails.
-func SolveCtx(ctx context.Context, g *graph.CSR, alg Algorithm) (*SolveResult, error) {
+func SolveCtx(ctx context.Context, g graph.Adjacency, alg Algorithm) (*SolveResult, error) {
 	n := g.NumVertices()
 	if n == 0 {
 		return &SolveResult{Values: []Value{}}, nil

@@ -123,7 +123,7 @@ const (
 // engine is the per-run simulation state.
 type engine struct {
 	cfg       Config
-	g         *graph.CSR
+	g         graph.Adjacency
 	alg       algorithms.Algorithm
 	sim       *sim.Engine
 	memory    *mem.Memory
@@ -162,14 +162,14 @@ type stream struct {
 }
 
 // Run executes alg over g under the Graphicionado model.
-func Run(cfg Config, g *graph.CSR, alg algorithms.Algorithm) (*Result, error) {
+func Run(cfg Config, g graph.Adjacency, alg algorithms.Algorithm) (*Result, error) {
 	return RunCtx(nil, cfg, g, alg)
 }
 
 // RunCtx runs like Run with wall-clock cancellation: when ctx is done the
 // simulation stops with an error wrapping sim.ErrCanceled. A nil ctx
 // disables cancellation.
-func RunCtx(ctx context.Context, cfg Config, g *graph.CSR, alg algorithms.Algorithm) (*Result, error) {
+func RunCtx(ctx context.Context, cfg Config, g graph.Adjacency, alg algorithms.Algorithm) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -443,7 +443,7 @@ func (e *engine) edgeLineUseful(line uint64, start uint64, deg int) uint64 {
 // relax processes one edge: propagate and reduce into the on-chip temp
 // property (no off-chip traffic under the unlimited-buffer assumption).
 func (e *engine) relax(src graph.VertexID, edge uint64, deg int) {
-	dst := e.g.Dst[edge]
+	dst := e.g.EdgeDst(edge)
 	out := e.alg.Propagate(e.applied[src], algorithms.EdgeContext{
 		Src:          src,
 		Dst:          dst,

@@ -98,12 +98,12 @@ type Result struct {
 // Engine runs delta-accumulative algorithms under the BSP frontier model.
 type Engine struct {
 	cfg Config
-	g   *graph.CSR
+	g   graph.Adjacency
 	tr  *graph.CSR // transpose, built lazily for pull traversal
 }
 
 // New creates an engine over g.
-func New(cfg Config, g *graph.CSR) *Engine {
+func New(cfg Config, g graph.Adjacency) *Engine {
 	if cfg.Threads < 1 {
 		cfg.Threads = runtime.GOMAXPROCS(0)
 	}
@@ -120,7 +120,7 @@ func New(cfg Config, g *graph.CSR) *Engine {
 // build cost is charged to setup, as in Ligra, which loads both directions).
 func (e *Engine) transpose() *graph.CSR {
 	if e.tr == nil {
-		e.tr = e.g.Transpose()
+		e.tr = graph.TransposeOf(e.g)
 	}
 	return e.tr
 }

@@ -58,6 +58,7 @@ func Experiments() []Experiment {
 		{ID: "scaleout", Title: "Distributed serving scale-out vs simulated multi-chip cluster", Run: runScaleout},
 		{ID: "faults", Title: "Fault-injection survival matrix (detection, tolerance, silent corruption)", Run: runFaults},
 		{ID: "churn", Title: "Streaming churn: warm vs cold re-convergence under deletions and expiry", Run: runChurn},
+		{ID: "footprint", Title: "Memory footprint vs throughput (out-of-core compressed store)", Run: runFootprint},
 	}
 }
 

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/graph"
+	"graphpulse/internal/graph/ooc"
+)
+
+// footprintFractions are the residency ceilings the footprint experiment
+// visits, as fractions of the decoded in-RAM graph size. 1.0 keeps every
+// slice resident (the store's best case); the smaller budgets force the
+// residency manager to swap slices, exposing the decode-amplification
+// cost of running below the working set (Section IV-F's slice swapping).
+var footprintFractions = []float64{1.0, 0.5, 0.25, 0.125}
+
+// footprintDecodedBytes is the in-RAM footprint of g, charged the way the
+// ooc store charges resident slices (rowptr as uint64, dst as uint32,
+// weights as float32).
+func footprintDecodedBytes(g *graph.CSR) int64 {
+	b := int64(len(g.RowPtr))*8 + int64(len(g.Dst))*4
+	if g.Weight != nil {
+		b += int64(len(g.Weight)) * 4
+	}
+	return b
+}
+
+// runFootprint measures memory ceiling vs throughput for the out-of-core
+// graphpack store: the workload graph is packed at every compression level,
+// then solved off the store under shrinking residency budgets. The in-RAM
+// serial solve is the 1.00x baseline. Besides the table, a machine-readable
+// CSV block is emitted so the curve can be plotted directly.
+func runFootprint(opt Options, _ *Sweep) error {
+	o := opt
+	o.Datasets = []string{"WG"}
+	if len(opt.Datasets) > 0 {
+		o.Datasets = opt.Datasets[:1]
+	}
+	o.Algorithms = []string{"pr"}
+	if len(opt.Algorithms) > 0 {
+		o.Algorithms = opt.Algorithms[:1]
+	}
+	ws, err := Workloads(o)
+	if err != nil {
+		return err
+	}
+	w := ws[0]
+	decoded := footprintDecodedBytes(w.Graph)
+
+	baseSecs, err := timeStoreSolve(opt, w, w.Graph)
+	if err != nil {
+		return fmt.Errorf("in-RAM baseline: %w", err)
+	}
+
+	dir, err := os.MkdirTemp("", "gp-footprint-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Fprintf(opt.Out, "Memory footprint vs throughput — out-of-core store, %s on %s-class graph (%s tier)\n",
+		algorithmTitle[w.AlgName], w.Dataset.Abbrev, opt.Tier)
+	fmt.Fprintf(opt.Out, "decoded in-RAM size %d bytes; wall-clock, best of %d runs; slowdown vs in-RAM serial solve\n",
+		decoded, scalingReps)
+	tw := newTable(opt.Out)
+	fmt.Fprintln(tw, "level\tcontainer bytes\tratio\tbudget\tbudget bytes\tseconds\tslowdown\tdecodes\tevictions\thits")
+	fmt.Fprintf(tw, "in-RAM\t-\t-\t-\t%d\t%.4f\t1.00x\t-\t-\t-\n", decoded, baseSecs)
+
+	type csvRow struct {
+		level     int
+		container int64
+		frac      float64
+		budget    int64
+		secs      float64
+		c         ooc.Counters
+	}
+	var rows []csvRow
+
+	for _, level := range []int{ooc.LevelRaw, ooc.LevelVarint, ooc.LevelDelta} {
+		path := filepath.Join(dir, fmt.Sprintf("wl-l%d.graphpack", level))
+		containerBytes, err := packWorkload(path, w.Graph, level)
+		if err != nil {
+			return err
+		}
+		// The store charges each resident slice its own rowPtr span, so the
+		// fully-resident footprint is slightly above the monolithic decoded
+		// size; budgets are fractions of that charge so the 100% row really
+		// holds every slice.
+		probe, err := ooc.Open(path, 0)
+		if err != nil {
+			return err
+		}
+		full := probe.Counters().ResidentBytes
+		probe.Close()
+		for _, frac := range footprintFractions {
+			budget := int64(float64(full) * frac)
+			st, err := ooc.Open(path, budget)
+			if err != nil {
+				return fmt.Errorf("level %d budget %.0f%%: %w", level, 100*frac, err)
+			}
+			st.ResetCounters()
+			secs, err := timeStoreSolve(opt, w, st)
+			c := st.Counters()
+			st.Close()
+			if err != nil {
+				return fmt.Errorf("level %d budget %.0f%%: %w", level, 100*frac, err)
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%.2fx\t%.0f%%\t%d\t%.4f\t%.2fx\t%d\t%d\t%d\n",
+				level, containerBytes, float64(decoded)/float64(containerBytes),
+				100*frac, budget, secs, secs/baseSecs,
+				c.Decodes, c.Evictions, c.Hits)
+			rows = append(rows, csvRow{level, containerBytes, frac, budget, secs, c})
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Machine-readable block: same data as the table, stable header, one
+	// line per (level, budget) point plus the baseline.
+	fmt.Fprintln(opt.Out, "csv: level,container_bytes,budget_frac,budget_bytes,seconds,slowdown,edges_per_sec,ooc_slice_decodes,ooc_slice_evictions,ooc_hits,ooc_decoded_bytes")
+	edges := float64(w.Graph.NumEdges())
+	fmt.Fprintf(opt.Out, "csv: ram,%d,1,%d,%.6f,1,%.0f,0,0,0,0\n", decoded, decoded, baseSecs, edges/baseSecs)
+	for _, r := range rows {
+		fmt.Fprintf(opt.Out, "csv: %d,%d,%g,%d,%.6f,%.4f,%.0f,%d,%d,%d,%d\n",
+			r.level, r.container, r.frac, r.budget, r.secs, r.secs/baseSecs, edges/r.secs,
+			r.c.Decodes, r.c.Evictions, r.c.Hits, r.c.DecodedBytes)
+	}
+	return nil
+}
+
+// packWorkload writes g as a graphpack container at the given level and
+// reports the container size in bytes.
+func packWorkload(path string, g *graph.CSR, level int) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	wopt := ooc.WriteOptions{Level: level, RawLevel: level == ooc.LevelRaw}
+	if err := ooc.Write(f, g, wopt); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// timeStoreSolve runs the serial native solver over any adjacency source
+// (in-RAM CSR or budgeted store) scalingReps times and returns the best
+// wall time in seconds.
+func timeStoreSolve(opt Options, w *Workload, g graph.Adjacency) (float64, error) {
+	best := 0.0
+	for i := 0; i < scalingReps; i++ {
+		ctx, cancel := opt.jobContext()
+		start := time.Now()
+		_, err := algorithms.SolveCtx(ctx, g, w.NewAlgorithm())
+		secs := time.Since(start).Seconds()
+		cancel()
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || secs < best {
+			best = secs
+		}
+	}
+	return best, nil
+}

@@ -70,29 +70,41 @@ func runScaling(opt Options, _ *Sweep) error {
 	fmt.Fprintf(opt.Out, "host GOMAXPROCS=%d; wall-clock, best of %d runs; speedup vs serial solve\n",
 		runtime.GOMAXPROCS(0), scalingReps)
 	tw := newTable(opt.Out)
-	fmt.Fprintln(tw, "engine\tworkers\tseconds\tspeedup\txshard deltas\tbatches\trounds\tcut edges")
+	fmt.Fprintln(tw, "engine\tworkers\trelabel\tseconds\tspeedup\txshard deltas\tbatches\trounds\tcut edges")
 
 	for _, name := range names {
 		switch name {
 		case engines.Solve:
-			fmt.Fprintf(tw, "solve\t1\t%.4f\t%.2fx\t-\t-\t-\t-\n", serialSecs, 1.0)
+			fmt.Fprintf(tw, "solve\t1\t-\t%.4f\t%.2fx\t-\t-\t-\t-\n", serialSecs, 1.0)
 		case engines.PSolve:
+			// Each worker count runs twice: the raw contiguous split
+			// (relabel off) and the default degree-order locality pass —
+			// the before/after view of the cross-shard counters.
 			for _, workers := range scalingWorkerCounts() {
-				secs, res, err := timePSolve(opt, w, workers)
-				if err != nil {
-					return err
+				for _, noRelabel := range []bool{true, false} {
+					if workers == 1 && !noRelabel {
+						continue // single shard: relabeling is skipped
+					}
+					secs, res, err := timePSolve(opt, w, workers, noRelabel)
+					if err != nil {
+						return err
+					}
+					label := "on"
+					if noRelabel {
+						label = "off"
+					}
+					fmt.Fprintf(tw, "psolve\t%d\t%s\t%.4f\t%.2fx\t%d\t%d\t%d\t%d\n",
+						res.Workers, label, secs, serialSecs/secs,
+						res.CrossShardDeltas, res.CrossShardBatches,
+						res.TerminationRounds, res.CutEdges)
 				}
-				fmt.Fprintf(tw, "psolve\t%d\t%.4f\t%.2fx\t%d\t%d\t%d\t%d\n",
-					res.Workers, secs, serialSecs/secs,
-					res.CrossShardDeltas, res.CrossShardBatches,
-					res.TerminationRounds, res.CutEdges)
 			}
 		default:
 			secs, err := timeEngine(opt, w, name)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(tw, "%s\t-\t%.4f\t%.2fx\t-\t-\t-\t-\n", name, secs, serialSecs/secs)
+			fmt.Fprintf(tw, "%s\t-\t-\t%.4f\t%.2fx\t-\t-\t-\t-\n", name, secs, serialSecs/secs)
 		}
 	}
 	return tw.Flush()
@@ -126,9 +138,10 @@ func timeEngine(opt Options, w *Workload, name string) (float64, error) {
 // times and returns the best wall time plus the last run's counters (the
 // counters for monotone work are schedule-dependent only in their split,
 // not their totals, and any run is representative).
-func timePSolve(opt Options, w *Workload, workers int) (float64, *psolve.Result, error) {
+func timePSolve(opt Options, w *Workload, workers int, noRelabel bool) (float64, *psolve.Result, error) {
 	cfg := psolve.DefaultConfig()
 	cfg.Workers = workers
+	cfg.NoRelabel = noRelabel
 	best := 0.0
 	var res *psolve.Result
 	for i := 0; i < scalingReps; i++ {

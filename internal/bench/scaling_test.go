@@ -70,7 +70,7 @@ func TestScalingSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, res, err := timePSolve(opt, w, 8)
+	par, res, err := timePSolve(opt, w, 8, false)
 	if err != nil {
 		t.Fatal(err)
 	}

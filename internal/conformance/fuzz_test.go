@@ -8,6 +8,7 @@ import (
 
 	"graphpulse/internal/algorithms"
 	"graphpulse/internal/graph"
+	"graphpulse/internal/graph/ooc"
 	"graphpulse/internal/stream"
 )
 
@@ -71,14 +72,35 @@ func FuzzEngineAgreement(f *testing.F) {
 	})
 }
 
-// FuzzGraphIORoundTrip checks that the text edge-list and binary CSR codecs
-// are lossless: write∘read must reproduce the graph bit-for-bit (weights
-// included), for any decodable instance — including multigraphs, self
-// loops, and trailing isolated vertices. It also drives the raw input
-// bytes straight into both loaders: whatever they decode to (usually an
-// error), malformed input must never panic or demand an allocation sized
-// by an unvalidated header.
+// FuzzGraphIORoundTrip checks that the text edge-list, binary CSR, and
+// out-of-core graphpack codecs are lossless: write∘read must reproduce the
+// graph bit-for-bit (weights included), for any decodable instance —
+// including multigraphs, self loops, and trailing isolated vertices. It
+// also drives the raw input bytes straight into all three loaders:
+// whatever they decode to (usually an error), malformed input must never
+// panic or demand an allocation sized by an unvalidated header. The seed
+// corpus includes torn and truncated graphpack containers — cut inside the
+// header, the slice directory, and a compressed segment — plus a
+// flipped-byte directory, the shapes a crashed or half-shipped conversion
+// leaves behind.
 func FuzzGraphIORoundTrip(f *testing.F) {
+	if seedG, err := graph.FromEdges(9, []graph.Edge{
+		{Src: 0, Dst: 3, Weight: 1}, {Src: 3, Dst: 7, Weight: 0.5},
+		{Src: 7, Dst: 0, Weight: 2}, {Src: 1, Dst: 8, Weight: 0.25},
+		{Src: 8, Dst: 2, Weight: 4},
+	}, true); err == nil {
+		var pack bytes.Buffer
+		if err := ooc.Write(&pack, seedG, ooc.WriteOptions{Slices: 3}); err == nil {
+			full := pack.Bytes()
+			f.Add(append([]byte(nil), full...))               // intact container
+			f.Add(append([]byte(nil), full[:20]...))          // torn mid-header
+			f.Add(append([]byte(nil), full[:len(full)/2]...)) // torn in the directory
+			f.Add(append([]byte(nil), full[:len(full)-3]...)) // torn mid-segment
+			flipped := append([]byte(nil), full...)
+			flipped[48] ^= 0xff // corrupt a directory entry
+			f.Add(flipped)
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if g, err := graph.ReadBinary(bytes.NewReader(data)); err == nil {
 			if err := g.Validate(); err != nil {
@@ -89,6 +111,12 @@ func FuzzGraphIORoundTrip(f *testing.F) {
 			if err := g.Validate(); err != nil {
 				t.Fatalf("ReadEdgeList accepted an invalid graph: %v", err)
 			}
+		}
+		if st, err := ooc.OpenReaderAt(bytes.NewReader(data), int64(len(data)), 0); err == nil {
+			if err := st.Validate(); err != nil {
+				t.Fatalf("ooc.OpenReaderAt accepted an invalid store: %v", err)
+			}
+			st.Close()
 		}
 		g, _, _, ok := fuzzGraph(data)
 		if !ok {
@@ -117,6 +145,25 @@ func FuzzGraphIORoundTrip(f *testing.F) {
 		if !g.Equal(fromBin) {
 			t.Fatalf("binary round-trip altered the graph (n=%d m=%d weighted=%v)",
 				g.NumVertices(), g.NumEdges(), g.Weighted())
+		}
+		// graphpack round-trip at a data-selected compression level and
+		// slicing, compared against what the binary codec reproduced.
+		level := int(data[3]>>1) % 3
+		var pack bytes.Buffer
+		if err := ooc.Write(&pack, g, ooc.WriteOptions{
+			Level: level, RawLevel: level == ooc.LevelRaw, Slices: 1 + int(data[0])%4,
+		}); err != nil {
+			t.Fatalf("ooc.Write: %v", err)
+		}
+		st, err := ooc.OpenReaderAt(bytes.NewReader(pack.Bytes()), int64(pack.Len()), 0)
+		if err != nil {
+			t.Fatalf("graphpack round-trip (level %d): %v", level, err)
+		}
+		defer st.Close()
+		fromPack := graph.Materialize(st)
+		if !fromBin.Equal(fromPack) {
+			t.Fatalf("graphpack round-trip (level %d) altered the graph (n=%d m=%d weighted=%v)",
+				level, g.NumVertices(), g.NumEdges(), g.Weighted())
 		}
 	})
 }

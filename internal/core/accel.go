@@ -50,7 +50,7 @@ type stageBlock struct {
 type Accelerator struct {
 	cfg    Config
 	alg    algorithms.Algorithm
-	g      *graph.CSR
+	g      graph.Adjacency
 	engine *sim.Engine
 	memory *mem.Memory
 	fetch  *mem.Fetcher
@@ -134,7 +134,7 @@ type Accelerator struct {
 
 // New builds an accelerator for running alg over g. The graph is partitioned
 // into slices if it exceeds cfg.QueueCapacity (Section IV-F).
-func New(cfg Config, g *graph.CSR, alg algorithms.Algorithm) (*Accelerator, error) {
+func New(cfg Config, g graph.Adjacency, alg algorithms.Algorithm) (*Accelerator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -321,7 +321,7 @@ func (a *Accelerator) submitGen(proc int, t *genTask) bool {
 // returns false when the delivery network refuses the event this cycle.
 func (a *Accelerator) emitEdge(t *genTask, idx int) bool {
 	edge := t.edgeStart + uint64(idx)
-	dst := a.g.Dst[edge]
+	dst := a.g.EdgeDst(edge)
 	out := a.alg.Propagate(t.delta, algorithms.EdgeContext{
 		Src:          t.src,
 		Dst:          dst,

@@ -188,7 +188,7 @@ func (a *Accelerator) checkpoint(cycle uint64) *Checkpoint {
 // and converges to the same values; per-run DRAM statistics restart (the
 // checkpoint does not capture memory-controller state), and the fault
 // injector (if configured) restarts its decision streams.
-func NewFromCheckpoint(cfg Config, g *graph.CSR, alg algorithms.Algorithm, ck *Checkpoint) (*Accelerator, error) {
+func NewFromCheckpoint(cfg Config, g graph.Adjacency, alg algorithms.Algorithm, ck *Checkpoint) (*Accelerator, error) {
 	switch {
 	case ck.Version != CheckpointVersion:
 		return nil, fmt.Errorf("core: checkpoint version %d, want %d", ck.Version, CheckpointVersion)

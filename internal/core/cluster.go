@@ -29,7 +29,7 @@ import (
 type Cluster struct {
 	cfg    ClusterConfig
 	alg    algorithms.Algorithm
-	g      *graph.CSR
+	g      graph.Adjacency
 	engine *sim.Engine
 	chips  []*Accelerator
 	slices []partition.Slice
@@ -97,7 +97,7 @@ func (c ClusterConfig) Validate() error {
 }
 
 // NewCluster partitions g across cfg.Chips accelerators.
-func NewCluster(cfg ClusterConfig, g *graph.CSR, alg algorithms.Algorithm) (*Cluster, error) {
+func NewCluster(cfg ClusterConfig, g graph.Adjacency, alg algorithms.Algorithm) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -162,7 +162,7 @@ func NewCluster(cfg ClusterConfig, g *graph.CSR, alg algorithms.Algorithm) (*Clu
 // newChip builds one cluster member: an accelerator whose single slice is
 // sl, sharing the functional state array, with out-of-slice events routed
 // through remote.
-func newChip(cfg Config, g *graph.CSR, alg algorithms.Algorithm, sl partition.Slice,
+func newChip(cfg Config, g graph.Adjacency, alg algorithms.Algorithm, sl partition.Slice,
 	state []float64, remote func(Event) bool, initial []algorithms.InitialEvent,
 	engine *sim.Engine) (*Accelerator, error) {
 

@@ -1,0 +1,84 @@
+package dserve
+
+import (
+	"context"
+	"testing"
+
+	"graphpulse/internal/dserve/chaos"
+)
+
+// chaosRepairEvents runs one chaos-wrapped worker through a fixed sequence
+// of anti-entropy repairs against the donor and returns the injected fault
+// log plus the worker (for its metrics).
+func chaosRepairEvents(t *testing.T, seed uint64, donorURL string) ([]chaos.Event, *Worker) {
+	t.Helper()
+	proxy, err := chaos.New(chaos.Config{Seed: seed, DropRate: 0.5, TruncateRate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk, _ := newWorkerNode(t, func(c *WorkerConfig) { c.Chaos = proxy })
+	for i := 0; i < 25; i++ {
+		// Repairs fail under injected drops/truncations; the sequence of
+		// outbound requests (WAL-tail fetch, then snapshot fallback) is what
+		// is being pinned, not the outcomes.
+		wk.repairFrom(context.Background(), "g", donorURL) //nolint:errcheck
+	}
+	return proxy.Events(), wk
+}
+
+// TestWorkerChaosDeterminism pins the satellite contract: the chaos proxy
+// interposed on the worker's peer client (snapshot fetch + WAL repair
+// traffic) injects an identical fault log for identical (seed, request
+// sequence) pairs, and its counters surface through the worker's metrics
+// catalogue.
+func TestWorkerChaosDeterminism(t *testing.T) {
+	_, tsA := newWorkerNode(t, nil)
+	solveAndMutate(t, tsA.URL)
+
+	ev1, wk1 := chaosRepairEvents(t, 7, tsA.URL)
+	ev2, _ := chaosRepairEvents(t, 7, tsA.URL)
+	if len(ev1) == 0 {
+		t.Fatal("no faults injected at drop=0.5/truncate=0.3 over 25 repairs")
+	}
+	if len(ev1) != len(ev2) {
+		t.Fatalf("same seed injected %d vs %d faults", len(ev1), len(ev2))
+	}
+	for i := range ev1 {
+		if ev1[i] != ev2[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, ev1[i], ev2[i])
+		}
+	}
+
+	ev3, _ := chaosRepairEvents(t, 8, tsA.URL)
+	same := len(ev1) == len(ev3)
+	if same {
+		for i := range ev1 {
+			if ev1[i].Point != ev3[i].Point {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical fault log")
+	}
+
+	// Each injected fault reports to its chaos_* counter in the worker's
+	// metrics catalogue.
+	var drops, truncs int64
+	for _, e := range ev1 {
+		switch e.Point {
+		case "drop":
+			drops++
+		case "truncate":
+			truncs++
+		}
+	}
+	m := wk1.Server().Metrics()
+	if got := m.Counter("chaos_drops"); got != drops {
+		t.Errorf("chaos_drops = %d, want %d", got, drops)
+	}
+	if got := m.Counter("chaos_truncates"); got != truncs {
+		t.Errorf("chaos_truncates = %d, want %d", got, truncs)
+	}
+}

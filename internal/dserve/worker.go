@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"graphpulse/internal/atomicio"
+	"graphpulse/internal/dserve/chaos"
 	"graphpulse/internal/serve"
 )
 
@@ -53,6 +54,12 @@ type WorkerConfig struct {
 	// Client overrides the HTTP client used for registration and peer
 	// snapshot fetches (default: 30s timeout).
 	Client *http.Client
+	// Chaos, when non-nil, wraps the worker's outbound HTTP client —
+	// registration heartbeats, peer snapshot fetches, and anti-entropy
+	// WAL-tail repair traffic — with the seeded deterministic fault proxy
+	// (internal/dserve/chaos), the same interposition the router applies
+	// to its proxy client. CI and tests only.
+	Chaos *chaos.Proxy
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -90,6 +97,9 @@ func (c WorkerConfig) withDefaults() (WorkerConfig, error) {
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 30 * time.Second}
 	}
+	// Interpose the fault proxy on every outbound request; a nil proxy
+	// returns the client unchanged.
+	c.Client = c.Chaos.Wrap(c.Client)
 	return c, nil
 }
 
@@ -114,6 +124,10 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		return nil, err
 	}
 	cfg.Server.Metrics().Register(workerCounters, nil)
+	if cfg.Chaos != nil {
+		cfg.Server.Metrics().Register(chaos.CounterNames(), nil)
+		cfg.Chaos.SetSink(cfg.Server.Metrics().Add)
+	}
 	wk := &Worker{cfg: cfg, srv: cfg.Server}
 	if cfg.WALDir != "" {
 		wk.wals = make(map[string]*WAL)

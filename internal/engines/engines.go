@@ -79,7 +79,7 @@ type Engine interface {
 	// events processed for the accelerator, edges traversed for the BSP
 	// baselines); Emitted counts propagated deltas where the engine tracks
 	// them.
-	SolveCtx(ctx context.Context, g *graph.CSR, alg algorithms.Algorithm) (*algorithms.SolveResult, error)
+	SolveCtx(ctx context.Context, g graph.Adjacency, alg algorithms.Algorithm) (*algorithms.SolveResult, error)
 }
 
 // Config overrides per-engine tuning for New. Nil fields select each
@@ -135,7 +135,7 @@ type solveEngine struct{}
 
 func (solveEngine) Name() string { return Solve }
 
-func (solveEngine) SolveCtx(ctx context.Context, g *graph.CSR, alg algorithms.Algorithm) (*algorithms.SolveResult, error) {
+func (solveEngine) SolveCtx(ctx context.Context, g graph.Adjacency, alg algorithms.Algorithm) (*algorithms.SolveResult, error) {
 	return algorithms.SolveCtx(ctx, g, alg)
 }
 
@@ -143,7 +143,7 @@ type psolveEngine struct{ cfg psolve.Config }
 
 func (psolveEngine) Name() string { return PSolve }
 
-func (e psolveEngine) SolveCtx(ctx context.Context, g *graph.CSR, alg algorithms.Algorithm) (*algorithms.SolveResult, error) {
+func (e psolveEngine) SolveCtx(ctx context.Context, g graph.Adjacency, alg algorithms.Algorithm) (*algorithms.SolveResult, error) {
 	res, err := psolve.SolveCtx(ctx, g, alg, e.cfg)
 	if err != nil {
 		return nil, err
@@ -159,7 +159,7 @@ type accelEngine struct{ cfg core.Config }
 
 func (accelEngine) Name() string { return Accel }
 
-func (e accelEngine) SolveCtx(ctx context.Context, g *graph.CSR, alg algorithms.Algorithm) (*algorithms.SolveResult, error) {
+func (e accelEngine) SolveCtx(ctx context.Context, g graph.Adjacency, alg algorithms.Algorithm) (*algorithms.SolveResult, error) {
 	a, err := core.New(e.cfg, g, alg)
 	if err != nil {
 		return nil, err
@@ -179,7 +179,7 @@ type graphicionadoEngine struct{ cfg graphicionado.Config }
 
 func (graphicionadoEngine) Name() string { return Graphicionado }
 
-func (e graphicionadoEngine) SolveCtx(ctx context.Context, g *graph.CSR, alg algorithms.Algorithm) (*algorithms.SolveResult, error) {
+func (e graphicionadoEngine) SolveCtx(ctx context.Context, g graph.Adjacency, alg algorithms.Algorithm) (*algorithms.SolveResult, error) {
 	res, err := graphicionado.RunCtx(ctx, e.cfg, g, alg)
 	if err != nil {
 		return nil, err
@@ -194,7 +194,7 @@ type ligraEngine struct{ cfg ligra.Config }
 
 func (ligraEngine) Name() string { return Ligra }
 
-func (e ligraEngine) SolveCtx(ctx context.Context, g *graph.CSR, alg algorithms.Algorithm) (*algorithms.SolveResult, error) {
+func (e ligraEngine) SolveCtx(ctx context.Context, g graph.Adjacency, alg algorithms.Algorithm) (*algorithms.SolveResult, error) {
 	res, err := ligra.New(e.cfg, g).RunCtx(ctx, alg)
 	if err != nil {
 		return nil, err

@@ -92,6 +92,108 @@ func (g *CSR) EdgeWeight(i uint64) float32 {
 // address the simulated edge-memory reader starts streaming from.
 func (g *CSR) EdgeOffset(v VertexID) uint64 { return g.RowPtr[v] }
 
+// EdgeDst returns the destination of the i-th edge (index into Dst). The
+// simulated memory models stream edges by global index; this is the
+// interface-friendly form of Dst[i].
+func (g *CSR) EdgeDst(i uint64) VertexID { return g.Dst[i] }
+
+// Adjacency is the narrow read interface every engine consumes: vertex and
+// edge counts, per-vertex neighbor iteration, and edge-indexed access for
+// the simulated memory models. The in-RAM *CSR satisfies it directly; the
+// out-of-core slice store (internal/graph/ooc) satisfies it by decoding
+// compressed slices on demand.
+//
+// Neighbors and NeighborWeights return slices the caller must not modify;
+// for out-of-core stores they remain valid after the backing slice is
+// evicted (eviction drops the store's reference, the garbage collector
+// reclaims the buffer once callers are done).
+type Adjacency interface {
+	// NumVertices returns the vertex count.
+	NumVertices() int
+	// NumEdges returns the directed edge count.
+	NumEdges() int
+	// Weighted reports whether edges carry explicit weights.
+	Weighted() bool
+	// OutDegree returns the out-degree of v.
+	OutDegree(v VertexID) int
+	// Neighbors returns the out-neighbors of v.
+	Neighbors(v VertexID) []VertexID
+	// NeighborWeights returns the weights parallel to Neighbors(v), nil for
+	// unweighted graphs.
+	NeighborWeights(v VertexID) []float32
+	// EdgeOffset returns the global index of the first out-edge of v.
+	EdgeOffset(v VertexID) uint64
+	// EdgeDst returns the destination of the edge at global index i.
+	EdgeDst(i uint64) VertexID
+	// EdgeWeight returns the weight of the edge at global index i (1 for
+	// unweighted graphs).
+	EdgeWeight(i uint64) float32
+	// Validate checks structural invariants.
+	Validate() error
+}
+
+var _ Adjacency = (*CSR)(nil)
+
+// TransposeOf builds the reverse graph of any Adjacency as an in-RAM CSR.
+// (*CSR).Transpose is the specialization; pull-direction engines handed an
+// out-of-core store use this — materializing the transpose trades the
+// memory ceiling back for pull traversal, which is why push-style engines
+// are the ones expected to run off-core.
+func TransposeOf(g Adjacency) *CSR {
+	if c, ok := g.(*CSR); ok {
+		return c.Transpose()
+	}
+	n := g.NumVertices()
+	t := &CSR{RowPtr: make([]uint64, n+1)}
+	for v := 0; v < n; v++ {
+		for _, d := range g.Neighbors(VertexID(v)) {
+			t.RowPtr[d+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		t.RowPtr[v+1] += t.RowPtr[v]
+	}
+	t.Dst = make([]VertexID, g.NumEdges())
+	if g.Weighted() {
+		t.Weight = make([]float32, g.NumEdges())
+	}
+	cursor := make([]uint64, n)
+	copy(cursor, t.RowPtr[:n])
+	for v := 0; v < n; v++ {
+		weights := g.NeighborWeights(VertexID(v))
+		for i, d := range g.Neighbors(VertexID(v)) {
+			j := cursor[d]
+			cursor[d]++
+			t.Dst[j] = VertexID(v)
+			if t.Weight != nil {
+				t.Weight[j] = weights[i]
+			}
+		}
+	}
+	return t
+}
+
+// Materialize copies any Adjacency into an in-RAM CSR. Tools and tests use
+// it to compare an out-of-core store against its source graph.
+func Materialize(g Adjacency) *CSR {
+	if c, ok := g.(*CSR); ok {
+		return c
+	}
+	n := g.NumVertices()
+	out := &CSR{RowPtr: make([]uint64, n+1), Dst: make([]VertexID, 0, g.NumEdges())}
+	if g.Weighted() {
+		out.Weight = make([]float32, 0, g.NumEdges())
+	}
+	for v := 0; v < n; v++ {
+		out.Dst = append(out.Dst, g.Neighbors(VertexID(v))...)
+		if out.Weight != nil {
+			out.Weight = append(out.Weight, g.NeighborWeights(VertexID(v))...)
+		}
+		out.RowPtr[v+1] = uint64(len(out.Dst))
+	}
+	return out
+}
+
 // MaxOutDegree returns the largest out-degree in the graph (0 for an empty
 // graph).
 func (g *CSR) MaxOutDegree() int {

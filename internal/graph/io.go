@@ -14,10 +14,28 @@ import (
 // per line, '#' or '%' comments) such as the SNAP text format the paper's
 // datasets ship in. Vertex count is inferred as 1 + max id unless a larger
 // hint is given.
+//
+// Seekable sources (files, bytes.Reader) get a cheap first pass that
+// counts data lines and tracks the max vertex id, so the edge slice is
+// allocated once at its final size instead of growing through append
+// doublings — on a TW-class text load the growth copies dominate the
+// allocator profile. Unseekable streams parse in one pass as before.
 func ReadEdgeList(r io.Reader, vertexHint int) (*CSR, error) {
+	var edges []Edge
+	if s, ok := r.(io.Seeker); ok {
+		count, maxSeen, err := prescanEdgeList(r, s)
+		if err != nil {
+			return nil, err
+		}
+		if count > 0 {
+			edges = make([]Edge, 0, count)
+		}
+		if maxSeen+1 > vertexHint {
+			vertexHint = maxSeen + 1
+		}
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var edges []Edge
 	weighted := false
 	maxID := -1
 	line := 0
@@ -71,6 +89,65 @@ func ReadEdgeList(r io.Reader, vertexHint int) (*CSR, error) {
 		n = vertexHint
 	}
 	return FromEdges(n, edges, weighted)
+}
+
+// prescanEdgeList scans a seekable edge-list source once, counting data
+// lines and the largest leading vertex id it can cheaply extract, then
+// rewinds to the starting offset so the parse pass re-reads from the same
+// position. Malformed lines are left for the parse pass to diagnose (they
+// still count, which at worst over-sizes the slice by the bad lines). A
+// failed rewind is fatal: the stream has been consumed and cannot be
+// parsed anymore.
+func prescanEdgeList(r io.Reader, s io.Seeker) (count, maxID int, err error) {
+	start, err := s.Seek(0, io.SeekCurrent)
+	if err != nil {
+		// The source cannot even report its position (e.g. a pipe wearing a
+		// Seeker interface); nothing was consumed, parse single-pass.
+		return 0, -1, nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	maxID = -1
+	for sc.Scan() {
+		b := sc.Bytes()
+		i := 0
+		for i < len(b) && (b[i] == ' ' || b[i] == '\t' || b[i] == '\r') {
+			i++
+		}
+		if i == len(b) || b[i] == '#' || b[i] == '%' {
+			continue
+		}
+		count++
+		for f := 0; f < 2; f++ {
+			for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
+				i++
+			}
+			id, ok := 0, false
+			for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+				d := int(b[i] - '0')
+				if id > (int(maxBinaryVertices)-d)/10 {
+					ok = false // overflow; the parse pass reports it
+					i = len(b)
+					break
+				}
+				id = id*10 + d
+				i++
+				ok = true
+			}
+			if ok && id > maxID {
+				maxID = id
+			}
+		}
+	}
+	// A scan error (over-long line) is also the parse pass's to report, but
+	// only after the rewind restores its input.
+	if _, err := s.Seek(start, io.SeekStart); err != nil {
+		return 0, -1, fmt.Errorf("graph: rewinding edge list after pre-scan: %w", err)
+	}
+	if sc.Err() != nil {
+		return 0, -1, nil
+	}
+	return count, maxID, nil
 }
 
 // WriteEdgeList emits g as a text edge list readable by ReadEdgeList.

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package ooc
+
+import "os"
+
+// mmapFile always falls back to ReadAt on platforms without syscall.Mmap.
+func mmapFile(f *os.File, size int64) []byte { return nil }
+
+func munmap(data []byte) error { return nil }

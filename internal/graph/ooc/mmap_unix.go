@@ -1,0 +1,24 @@
+//go:build unix
+
+package ooc
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile memory-maps f read-only, returning nil when mapping is not
+// possible (empty file, size overflow, or kernel refusal) — the store then
+// falls back to ReadAt through the file handle.
+func mmapFile(f *os.File, size int64) []byte {
+	if size <= 0 || int64(int(size)) != size {
+		return nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,229 @@
+package ooc
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphpulse/internal/algorithms"
+	"graphpulse/internal/graph"
+	"graphpulse/internal/graph/gen"
+)
+
+func testGraph(t *testing.T, weighted bool) *graph.CSR {
+	t.Helper()
+	g, err := gen.RMAT(gen.RMATParams{
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05, Scale: 9, EdgeFactor: 8,
+		Weighted: weighted, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// pack encodes g and opens it from memory with the given budget.
+func pack(t *testing.T, g *graph.CSR, opt WriteOptions, budget int64) *Store {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, g, opt); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	s, err := OpenReaderAt(bytes.NewReader(buf.Bytes()), int64(buf.Len()), budget)
+	if err != nil {
+		t.Fatalf("OpenReaderAt: %v", err)
+	}
+	return s
+}
+
+// decodedBytes estimates g's decoded footprint the same way the store
+// charges slices.
+func decodedBytes(g *graph.CSR) int64 {
+	b := int64(len(g.RowPtr))*8 + int64(len(g.Dst))*4
+	if g.Weight != nil {
+		b += int64(len(g.Weight)) * 4
+	}
+	return b
+}
+
+func TestStoreMatchesCSR(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := testGraph(t, weighted)
+		for level := LevelRaw; level <= LevelDelta; level++ {
+			s := pack(t, g, WriteOptions{Level: level, RawLevel: true, Slices: 8}, 0)
+			if s.NumVertices() != g.NumVertices() || s.NumEdges() != g.NumEdges() {
+				t.Fatalf("level %d: shape %d/%d, want %d/%d",
+					level, s.NumVertices(), s.NumEdges(), g.NumVertices(), g.NumEdges())
+			}
+			if s.Weighted() != g.Weighted() {
+				t.Fatalf("level %d: weighted mismatch", level)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("level %d: %v", level, err)
+			}
+			for v := 0; v < g.NumVertices(); v++ {
+				id := graph.VertexID(v)
+				if s.OutDegree(id) != g.OutDegree(id) {
+					t.Fatalf("level %d: OutDegree(%d)", level, v)
+				}
+				if s.EdgeOffset(id) != g.EdgeOffset(id) {
+					t.Fatalf("level %d: EdgeOffset(%d)", level, v)
+				}
+				sn, gn := s.Neighbors(id), g.Neighbors(id)
+				for j := range gn {
+					if sn[j] != gn[j] {
+						t.Fatalf("level %d: Neighbors(%d)[%d] = %d, want %d", level, v, j, sn[j], gn[j])
+					}
+				}
+				sw, gw := s.NeighborWeights(id), g.NeighborWeights(id)
+				if (sw == nil) != (gw == nil) {
+					t.Fatalf("level %d: NeighborWeights(%d) nil mismatch", level, v)
+				}
+				for j := range gw {
+					if sw[j] != gw[j] {
+						t.Fatalf("level %d: NeighborWeights(%d)[%d]", level, v, j)
+					}
+				}
+			}
+			for i := 0; i < g.NumEdges(); i += 7 {
+				e := uint64(i)
+				if s.EdgeDst(e) != g.EdgeDst(e) || s.EdgeWeight(e) != g.EdgeWeight(e) {
+					t.Fatalf("level %d: edge %d mismatch", level, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCompressionShrinks(t *testing.T) {
+	g := testGraph(t, false)
+	sizes := make([]int, 3)
+	for level := LevelRaw; level <= LevelDelta; level++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, g, WriteOptions{Level: level, RawLevel: true, Slices: 8}); err != nil {
+			t.Fatal(err)
+		}
+		sizes[level] = buf.Len()
+	}
+	if sizes[LevelVarint] >= sizes[LevelRaw] {
+		t.Errorf("varint (%d bytes) did not beat raw (%d bytes)", sizes[LevelVarint], sizes[LevelRaw])
+	}
+	t.Logf("container bytes raw/varint/delta: %d/%d/%d", sizes[0], sizes[1], sizes[2])
+}
+
+func TestBudgetEviction(t *testing.T) {
+	g := testGraph(t, false)
+	budget := decodedBytes(g) / 4
+	s := pack(t, g, WriteOptions{Slices: 16}, budget)
+	// Open's verification pass scans every slice, so evictions have already
+	// happened under a quarter-size budget.
+	c := s.Counters()
+	if c.Evictions == 0 {
+		t.Fatalf("no evictions at budget %d (decoded %d)", budget, decodedBytes(g))
+	}
+	if c.ResidentBytes > budget {
+		t.Fatalf("resident %d bytes exceeds budget %d at rest", c.ResidentBytes, budget)
+	}
+	if c.ResidentSlices == 0 {
+		t.Fatal("nothing resident after open")
+	}
+	s.ResetCounters()
+	// A full sweep re-decodes most slices; counters must move again.
+	for v := 0; v < g.NumVertices(); v++ {
+		_ = s.OutDegree(graph.VertexID(v))
+	}
+	c = s.Counters()
+	if c.Decodes == 0 || c.Hits == 0 {
+		t.Fatalf("sweep counters: %+v", c)
+	}
+}
+
+func TestSolveOnStoreMatches(t *testing.T) {
+	g := testGraph(t, true)
+	s := pack(t, g, WriteOptions{Slices: 16}, decodedBytes(g)/4)
+	want := algorithms.Solve(g, algorithms.NewPageRankDelta())
+	got := algorithms.Solve(s, algorithms.NewPageRankDelta())
+	if len(want.Values) != len(got.Values) {
+		t.Fatal("length mismatch")
+	}
+	for v := range want.Values {
+		if want.Values[v] != got.Values[v] {
+			t.Fatalf("value[%d] = %g, want %g", v, got.Values[v], want.Values[v])
+		}
+	}
+	if c := s.Counters(); c.Evictions == 0 {
+		t.Fatalf("solve at quarter budget produced no evictions: %+v", c)
+	}
+}
+
+func TestOpenFile(t *testing.T) {
+	g := testGraph(t, true)
+	path := filepath.Join(t.TempDir(), "g.graphpack")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(f, g, WriteOptions{Slices: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.NumVertices() != g.NumVertices() || s.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch")
+	}
+	for v := 0; v < g.NumVertices(); v += 13 {
+		id := graph.VertexID(v)
+		sn, gn := s.Neighbors(id), g.Neighbors(id)
+		if len(sn) != len(gn) {
+			t.Fatalf("Neighbors(%d) length", v)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptionRejected(t *testing.T) {
+	g := testGraph(t, false)
+	var buf bytes.Buffer
+	if err := Write(&buf, g, WriteOptions{Slices: 4}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Truncations at every structural boundary must error, never panic.
+	for _, cut := range []int{0, 4, headerSize - 1, headerSize, headerSize + dirEntrySize - 1,
+		headerSize + 4*dirEntrySize, len(raw) - 1} {
+		if _, err := OpenReaderAt(bytes.NewReader(raw[:cut]), int64(cut), 0); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Flipping directory bytes must error (torn directory).
+	for _, off := range []int{8, 16, 32, headerSize, headerSize + 8, headerSize + 24, headerSize + 32} {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0xff
+		if _, err := OpenReaderAt(bytes.NewReader(mut), int64(len(mut)), 0); err == nil {
+			t.Errorf("corruption at offset %d accepted", off)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &graph.CSR{}, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenReaderAt(bytes.NewReader(buf.Bytes()), int64(buf.Len()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVertices() != 0 || s.NumEdges() != 0 || len(s.SliceBoundaries()) != 1 {
+		t.Fatalf("empty store shape: %d/%d", s.NumVertices(), s.NumEdges())
+	}
+}

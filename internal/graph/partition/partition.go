@@ -63,7 +63,7 @@ func (p *Partitioning) SliceOf(v graph.VertexID) int {
 // boundary-refinement sweeps to reduce the edge cut. maxVertices must be
 // positive. With maxVertices >= NumVertices the result is a single slice
 // with zero cut.
-func Contiguous(g *graph.CSR, maxVertices, refine int) (*Partitioning, error) {
+func Contiguous(g graph.Adjacency, maxVertices, refine int) (*Partitioning, error) {
 	if maxVertices <= 0 {
 		return nil, fmt.Errorf("partition: maxVertices=%d, want > 0", maxVertices)
 	}
@@ -130,7 +130,7 @@ func Contiguous(g *graph.CSR, maxVertices, refine int) (*Partitioning, error) {
 // Contiguous with the bound expressed as a slice count: a graph with fewer
 // vertices than parts yields one single-vertex slice per vertex, and an
 // empty graph yields zero slices. parts must be positive.
-func Split(g *graph.CSR, parts, refine int) (*Partitioning, error) {
+func Split(g graph.Adjacency, parts, refine int) (*Partitioning, error) {
 	if parts <= 0 {
 		return nil, fmt.Errorf("partition: parts=%d, want > 0", parts)
 	}
@@ -147,7 +147,7 @@ func Split(g *graph.CSR, parts, refine int) (*Partitioning, error) {
 // boundaryCut counts edges crossing the single boundary bounds[b] in either
 // direction, restricted to the two slices adjacent to it. It is the local
 // objective for refinement.
-func boundaryCut(g *graph.CSR, bounds []int, b int) int {
+func boundaryCut(g graph.Adjacency, bounds []int, b int) int {
 	lo, mid, hi := bounds[b-1], bounds[b], bounds[b+1]
 	cut := 0
 	for v := lo; v < hi; v++ {
@@ -164,8 +164,13 @@ func boundaryCut(g *graph.CSR, bounds []int, b int) int {
 	return cut
 }
 
+// Cut counts all edges whose endpoints are in different slices of p — the
+// edge-cut objective, exported for callers that build a Partitioning from
+// externally fixed boundaries (e.g. shard-to-slice alignment in psolve).
+func Cut(g graph.Adjacency, p *Partitioning) int { return totalCut(g, p) }
+
 // totalCut counts all edges whose endpoints are in different slices.
-func totalCut(g *graph.CSR, p *Partitioning) int {
+func totalCut(g graph.Adjacency, p *Partitioning) int {
 	cut := 0
 	for v := 0; v < g.NumVertices(); v++ {
 		sv := p.SliceOf(graph.VertexID(v))
@@ -183,7 +188,7 @@ func totalCut(g *graph.CSR, p *Partitioning) int {
 // Applying it before Contiguous clusters well-connected vertices into the
 // same slice, which is the cheap stand-in for the offline partitioners the
 // paper cites.
-func DegreeOrderPermutation(g *graph.CSR) []graph.VertexID {
+func DegreeOrderPermutation(g graph.Adjacency) []graph.VertexID {
 	n := g.NumVertices()
 	perm := make([]graph.VertexID, n)
 	visited := make([]bool, n)

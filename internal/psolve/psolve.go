@@ -62,6 +62,15 @@ type Config struct {
 	// RefinePasses is the number of partition boundary-refinement sweeps
 	// used to reduce the cross-shard edge cut (default 1).
 	RefinePasses int
+	// NoRelabel disables the internal degree-order relabeling pass. By
+	// default (false) the solver relabels in-RAM graphs with
+	// partition.DegreeOrderPermutation before sharding, clustering
+	// well-connected vertices into the same shard to cut the cross-shard
+	// edge fraction; results are reported in the original vertex ids. The
+	// pass is skipped automatically for single-worker runs and for
+	// out-of-core stores (whose on-disk slice layout is already the
+	// locality unit).
+	NoRelabel bool
 }
 
 // DefaultConfig returns the documented defaults.
@@ -146,7 +155,7 @@ type batch []delta
 
 // solver is the shared run state.
 type solver struct {
-	g     *graph.CSR
+	g     graph.Adjacency
 	alg   algorithms.Algorithm
 	cfg   Config
 	ctx   context.Context
@@ -201,23 +210,43 @@ type worker struct {
 }
 
 // Solve runs alg to convergence in parallel, without cancellation.
-func Solve(g *graph.CSR, alg algorithms.Algorithm, cfg Config) *Result {
+func Solve(g graph.Adjacency, alg algorithms.Algorithm, cfg Config) *Result {
 	res, _ := SolveCtx(nil, g, alg, cfg)
 	return res
+}
+
+// Sliced is implemented by graph stores whose on-disk layout has its own
+// slice boundaries (the out-of-core graphpack store). The solver aligns
+// worker shards to these boundaries so each worker's working set maps onto
+// whole resident slices instead of straddling them.
+type Sliced interface {
+	SliceBoundaries() []graph.VertexID
 }
 
 // SolveCtx runs alg to convergence across cfg.Workers shards. When ctx is
 // canceled the solve stops and returns an error wrapping sim.ErrCanceled. A
 // nil ctx disables cancellation and never fails.
-func SolveCtx(ctx context.Context, g *graph.CSR, alg algorithms.Algorithm, cfg Config) (*Result, error) {
+func SolveCtx(ctx context.Context, g graph.Adjacency, alg algorithms.Algorithm, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	n := g.NumVertices()
 	if n == 0 {
 		return &Result{Values: []float64{}}, nil
 	}
-	part, err := partition.Split(g, cfg.Workers, cfg.RefinePasses)
+
+	// Locality pass: relabel in-RAM graphs so BFS-adjacent vertices land in
+	// the same contiguous shard. The algorithm is wrapped to observe original
+	// vertex ids (InitState/Propagate see pre-permutation ids), so results
+	// are exact — only the schedule and shard assignment change; values are
+	// un-permuted before returning.
+	if !cfg.NoRelabel && cfg.Workers > 1 && n > 1 {
+		if csr, ok := g.(*graph.CSR); ok {
+			return solveRelabeled(ctx, csr, alg, cfg)
+		}
+	}
+
+	part, err := shard(g, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("psolve: %w", err)
+		return nil, err
 	}
 	w := part.NumSlices()
 
@@ -307,6 +336,109 @@ func SolveCtx(ctx context.Context, g *graph.CSR, alg algorithms.Algorithm, cfg C
 		res.TerminationRounds += wk.rounds
 	}
 	return res, nil
+}
+
+// shard builds the worker partitioning for g: aligned to the store's own
+// slice boundaries when g is an out-of-core Sliced store (so each worker's
+// shard maps onto whole resident slices), a refined contiguous split
+// otherwise.
+func shard(g graph.Adjacency, cfg Config) (*partition.Partitioning, error) {
+	if sl, ok := g.(Sliced); ok {
+		if p := alignedPartitioning(g, sl.SliceBoundaries(), cfg.Workers); p != nil {
+			return p, nil
+		}
+	}
+	part, err := partition.Split(g, cfg.Workers, cfg.RefinePasses)
+	if err != nil {
+		return nil, fmt.Errorf("psolve: %w", err)
+	}
+	return part, nil
+}
+
+// alignedPartitioning groups consecutive store slices into up to workers
+// contiguous shards. Store slices are already vertex-balanced (they come from
+// partition.Split at pack time), so grouping by index stays balanced. Returns
+// nil when the boundary list is unusable and the caller should fall back to a
+// fresh split.
+func alignedPartitioning(g graph.Adjacency, bounds []graph.VertexID, workers int) *partition.Partitioning {
+	n := g.NumVertices()
+	k := len(bounds) - 1
+	if k < 1 || bounds[0] != 0 || int(bounds[k]) != n {
+		return nil
+	}
+	for i := 0; i < k; i++ {
+		if bounds[i] >= bounds[i+1] {
+			return nil
+		}
+	}
+	if workers > k {
+		workers = k
+	}
+	p := &partition.Partitioning{Slices: make([]partition.Slice, workers)}
+	for i := 0; i < workers; i++ {
+		p.Slices[i] = partition.Slice{Lo: bounds[i*k/workers], Hi: bounds[(i+1)*k/workers]}
+	}
+	p.CutEdges = partition.Cut(g, p)
+	return p
+}
+
+// solveRelabeled is the degree-order locality pass: relabel the graph with
+// partition.DegreeOrderPermutation, solve on the relabeled graph with a
+// wrapper that presents original vertex ids to the algorithm, and un-permute
+// the converged values. Exact for every algorithm — the wrapped algorithm
+// observes the same ids, weights and out-degrees as an unrelabeled run, so
+// only the shard assignment and schedule change.
+func solveRelabeled(ctx context.Context, g *graph.CSR, alg algorithms.Algorithm, cfg Config) (*Result, error) {
+	perm := partition.DegreeOrderPermutation(g)
+	rg, err := g.Relabel(perm)
+	if err != nil {
+		return nil, fmt.Errorf("psolve: relabel: %w", err)
+	}
+	inv := make([]graph.VertexID, len(perm))
+	for v, p := range perm {
+		inv[p] = graph.VertexID(v)
+	}
+	cfg.NoRelabel = true
+	res, err := SolveCtx(ctx, rg, &relabeledAlg{Algorithm: alg, perm: perm, inv: inv, orig: g}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Relabeled vertex perm[v] holds original vertex v's converged value.
+	vals := make([]float64, len(res.Values))
+	for v := range vals {
+		vals[v] = res.Values[perm[v]]
+	}
+	res.Values = vals
+	return res, nil
+}
+
+// relabeledAlg presents original vertex ids to the wrapped algorithm while
+// the solver runs on the relabeled graph: InitState and Propagate un-map ids,
+// InitialEvents are computed on the original graph and mapped forward.
+// Out-degree is invariant under relabeling, so EdgeContext.SrcOutDegree needs
+// no translation.
+type relabeledAlg struct {
+	algorithms.Algorithm
+	perm, inv []graph.VertexID
+	orig      graph.Adjacency
+}
+
+func (a *relabeledAlg) InitState(v graph.VertexID) algorithms.Value {
+	return a.Algorithm.InitState(a.inv[v])
+}
+
+func (a *relabeledAlg) Propagate(d algorithms.Value, e algorithms.EdgeContext) algorithms.Value {
+	e.Src, e.Dst = a.inv[e.Src], a.inv[e.Dst]
+	return a.Algorithm.Propagate(d, e)
+}
+
+func (a *relabeledAlg) InitialEvents(graph.Adjacency) []algorithms.InitialEvent {
+	evs := a.Algorithm.InitialEvents(a.orig)
+	out := make([]algorithms.InitialEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = algorithms.InitialEvent{Vertex: a.perm[ev.Vertex], Delta: ev.Delta}
+	}
+	return out
 }
 
 // fail records the first error and stops the fleet.

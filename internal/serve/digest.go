@@ -85,6 +85,9 @@ func (s *Server) StateDigest(name string) (DigestInfo, error) {
 		return DigestInfo{}, fmt.Errorf("serve: unknown graph %q", name)
 	}
 	g, epoch := rg.snapshot()
+	if g == nil {
+		return DigestInfo{}, rg.readOnlyErr()
+	}
 	h := fnv.New64a()
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(g.NumVertices()))

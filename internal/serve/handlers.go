@@ -236,7 +236,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "stream batch rejected: %v", err)
 		return
 	}
-	g, epoch := rg.snapshot()
+	g, epoch := rg.view()
 	resp.Epoch, resp.NumEdges = epoch, g.NumEdges()
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -271,7 +271,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	g, epoch := rg.snapshot()
+	g, epoch := rg.view()
 	if req.Root != nil && int(*req.Root) >= g.NumVertices() {
 		s.metrics.Add("query_errors", 1)
 		writeError(w, http.StatusBadRequest, "root %d out of range (n=%d)", *req.Root, g.NumVertices())
@@ -336,7 +336,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // registered as a waiter (call leave exactly once). led reports whether
 // this caller started the computation; ErrBusy means admission control
 // rejected it.
-func (s *Server) joinOrLead(series string, epoch uint64, rg *residentGraph, g *graph.CSR, alg algorithms.Algorithm, engine string) (*flight, bool, error) {
+func (s *Server) joinOrLead(series string, epoch uint64, rg *residentGraph, g graph.Adjacency, alg algorithms.Algorithm, engine string) (*flight, bool, error) {
 	key := fullKey(series, epoch)
 	s.flightMu.Lock()
 	if f, ok := s.flights[key]; ok {
@@ -380,7 +380,7 @@ func (s *Server) joinOrLead(series string, epoch uint64, rg *residentGraph, g *g
 // re-initialization when deletions are involved ("cone", degrading to a
 // cold replay past Config.MaxConeFraction) — then execute on the chosen
 // engine under ctx.
-func (s *Server) compute(ctx context.Context, rg *residentGraph, g *graph.CSR, epoch uint64, alg algorithms.Algorithm, series, engine string) (*cachedResult, error) {
+func (s *Server) compute(ctx context.Context, rg *residentGraph, g graph.Adjacency, epoch uint64, alg algorithms.Algorithm, series, engine string) (*cachedResult, error) {
 	if s.testComputeStall != nil {
 		s.testComputeStall(ctx)
 	}
@@ -396,12 +396,16 @@ func (s *Server) compute(ctx context.Context, rg *residentGraph, g *graph.CSR, e
 					runAlg = algorithms.WarmStart(alg, state, seeds)
 					mode = "warm"
 				}
-			} else if plan, err := stream.PlanRestart(alg, g, added, removed, prior.Values, s.cfg.MaxConeFraction); err == nil {
-				if plan.Replay {
-					s.metrics.Add("stream_replay_fallbacks", 1)
-				} else {
-					runAlg = algorithms.WarmStart(alg, plan.State, plan.Seeds)
-					mode = "cone"
+			} else if csr, isCSR := g.(*graph.CSR); isCSR {
+				// warmPath only succeeds for mutable residents, whose view
+				// is always a *CSR; out-of-core stores never reach here.
+				if plan, err := stream.PlanRestart(alg, csr, added, removed, prior.Values, s.cfg.MaxConeFraction); err == nil {
+					if plan.Replay {
+						s.metrics.Add("stream_replay_fallbacks", 1)
+					} else {
+						runAlg = algorithms.WarmStart(alg, plan.State, plan.Seeds)
+						mode = "cone"
+					}
 				}
 			}
 		}
@@ -437,7 +441,7 @@ func (s *Server) compute(ctx context.Context, rg *residentGraph, g *graph.CSR, e
 
 // buildResponse projects a cached result onto the slice of the answer the
 // request asked for.
-func (s *Server) buildResponse(req *QueryRequest, g *graph.CSR, engine, algKey string, res *cachedResult, fromCache, coalesced bool) *QueryResponse {
+func (s *Server) buildResponse(req *QueryRequest, g graph.Adjacency, engine, algKey string, res *cachedResult, fromCache, coalesced bool) *QueryResponse {
 	mode := res.Mode
 	if fromCache {
 		mode = "cache"

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strings"
@@ -12,6 +13,7 @@ import (
 
 	"graphpulse/internal/graph"
 	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/graph/ooc"
 	"graphpulse/internal/stream"
 )
 
@@ -33,6 +35,12 @@ type GraphSpec struct {
 	// server's epoch ticker (Config.WindowTick) through the same deletion
 	// path as /v1/mutate deletes.
 	Window time.Duration
+	// ResidentBytes is the out-of-core residency budget applied when Source
+	// is a graphpack container (detected by extension or magic): decoded
+	// slices stay under this many bytes, colder ones are evicted. <= 0 means
+	// unlimited. Graphpack graphs are read-only — mutation, streaming,
+	// windowing, and snapshot export reject.
+	ResidentBytes int64
 }
 
 // ParseGraphArg parses the CLI form "name=source" (or a bare source, whose
@@ -122,6 +130,11 @@ type residentGraph struct {
 	histMax int
 	window  time.Duration
 
+	// store is set instead of g for out-of-core graphpack residents: a
+	// lazily-decoded read-only slice store pinned at epoch 0. Exactly one of
+	// store and g is non-nil.
+	store *ooc.Store
+
 	mu      sync.RWMutex
 	g       *graph.CSR
 	epoch   uint64
@@ -133,9 +146,41 @@ type residentGraph struct {
 	hook MutationHook
 }
 
+// isGraphpack reports whether source is a graphpack container file, by
+// extension or by sniffing the magic.
+func isGraphpack(source string) bool {
+	if strings.HasSuffix(source, ".graphpack") {
+		return true
+	}
+	f, err := os.Open(source)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var m [8]byte
+	if _, err := io.ReadFull(f, m[:]); err != nil {
+		return false
+	}
+	return string(m[:]) == ooc.Magic
+}
+
 func loadResident(spec GraphSpec, cache *gen.Cache, histMax int) (*residentGraph, error) {
 	if spec.Name == "" {
 		return nil, fmt.Errorf("serve: graph spec needs a name")
+	}
+	if spec.Graph == nil && !datasetSourceRE.MatchString(spec.Source) && isGraphpack(spec.Source) {
+		if spec.Window > 0 {
+			return nil, fmt.Errorf("serve: graph %q: out-of-core graphs cannot be windowed", spec.Name)
+		}
+		st, err := ooc.Open(spec.Source, spec.ResidentBytes)
+		if err != nil {
+			return nil, err
+		}
+		if st.NumVertices() == 0 {
+			st.Close()
+			return nil, fmt.Errorf("serve: graph %q is empty", spec.Name)
+		}
+		return &residentGraph{name: spec.Name, histMax: histMax, store: st}, nil
 	}
 	g, err := loadSource(spec, cache)
 	if err != nil {
@@ -156,23 +201,45 @@ func loadResident(spec GraphSpec, cache *gen.Cache, histMax int) (*residentGraph
 	}, nil
 }
 
-// snapshot returns a consistent (graph, epoch) pair.
+// snapshot returns a consistent (graph, epoch) pair. The graph is nil for
+// out-of-core residents — paths that need a materialized CSR (digest,
+// snapshot export, stream accounting) guard on it; compute paths use view.
 func (r *residentGraph) snapshot() (*graph.CSR, uint64) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.g, r.epoch
 }
 
+// view returns the graph to compute on and its epoch: the out-of-core store
+// (pinned at epoch 0) for graphpack residents, the current CSR snapshot
+// otherwise.
+func (r *residentGraph) view() (graph.Adjacency, uint64) {
+	if r.store != nil {
+		return r.store, 0
+	}
+	return r.snapshot()
+}
+
+// readOnlyErr is the rejection every mutating path returns for an
+// out-of-core resident.
+func (r *residentGraph) readOnlyErr() error {
+	return fmt.Errorf("serve: graph %q is an out-of-core store (read-only)", r.name)
+}
+
 // info summarizes the entry for /v1/graphs.
 func (r *residentGraph) info() GraphInfo {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	var g graph.Adjacency = r.g
+	if r.store != nil {
+		g = r.store
+	}
 	return GraphInfo{
 		Name:        r.name,
 		Epoch:       r.epoch,
-		NumVertices: r.g.NumVertices(),
-		NumEdges:    r.g.NumEdges(),
-		Weighted:    r.g.Weighted(),
+		NumVertices: g.NumVertices(),
+		NumEdges:    g.NumEdges(),
+		Weighted:    g.Weighted(),
 		WindowSecs:  r.window.Seconds(),
 	}
 }
@@ -187,6 +254,9 @@ func (r *residentGraph) info() GraphInfo {
 func (r *residentGraph) applyBatch(ins, dels []graph.Edge, now time.Time) (mutateOutcome, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.g == nil {
+		return mutateOutcome{}, r.readOnlyErr()
+	}
 	n := r.g.NumVertices()
 	for _, e := range ins {
 		if int(e.Src) >= n || int(e.Dst) >= n {
@@ -224,7 +294,7 @@ func (r *residentGraph) applyBatch(ins, dels []graph.Edge, now time.Time) (mutat
 func (r *residentGraph) expire(now time.Time) (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.window <= 0 {
+	if r.window <= 0 || r.g == nil {
 		return 0, nil
 	}
 	removed := r.log.Expire(now, r.window)
@@ -281,6 +351,9 @@ func (r *residentGraph) rebuildLocked(added, removed []graph.Edge, at time.Time)
 func (r *residentGraph) applyReplay(rec MutationRecord) (bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.g == nil {
+		return false, r.readOnlyErr()
+	}
 	if rec.Epoch <= r.epoch {
 		return false, nil
 	}

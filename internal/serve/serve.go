@@ -213,8 +213,13 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.graphs[rg.name] = rg
 		s.order = append(s.order, rg.name)
-		s.logf("serve: graph %q resident: %d vertices, %d edges", rg.name,
-			rg.g.NumVertices(), rg.g.NumEdges())
+		vg, _ := rg.view()
+		kind := ""
+		if rg.store != nil {
+			kind = " (out-of-core)"
+		}
+		s.logf("serve: graph %q resident%s: %d vertices, %d edges", rg.name,
+			kind, vg.NumVertices(), vg.NumEdges())
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)

@@ -66,6 +66,9 @@ func (s *Server) ExportSnapshot(name string) (*Snapshot, error) {
 		return nil, fmt.Errorf("serve: unknown graph %q", name)
 	}
 	g, epoch := rg.snapshot()
+	if g == nil {
+		return nil, rg.readOnlyErr()
+	}
 	snap := &Snapshot{
 		Version:     SnapshotVersion,
 		Graph:       name,
@@ -152,6 +155,9 @@ func (s *Server) ImportSnapshot(snap *Snapshot) error {
 func (r *residentGraph) restore(numVertices int, weighted bool, edges []graph.Edge, epoch uint64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.g == nil {
+		return r.readOnlyErr()
+	}
 	if numVertices != r.g.NumVertices() {
 		return fmt.Errorf("serve: snapshot has %d vertices, resident graph %q has %d",
 			numVertices, r.name, r.g.NumVertices())

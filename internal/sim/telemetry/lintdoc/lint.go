@@ -29,6 +29,7 @@ import (
 	"graphpulse/internal/core"
 	"graphpulse/internal/dserve"
 	"graphpulse/internal/graph/gen"
+	"graphpulse/internal/graph/ooc"
 	"graphpulse/internal/mem"
 	"graphpulse/internal/psolve"
 	"graphpulse/internal/serve"
@@ -111,6 +112,9 @@ func emittedNames() ([]string, error) {
 	// Parallel native solver counters.
 	add(psolve.MetricNames()...)
 
+	// Out-of-core graphpack store counters.
+	add(ooc.MetricNames()...)
+
 	// Stage-timer and unit-state keys surfaced through core.Result.
 	add(core.StageNames...)
 	for k := range ares.ProcBreakdown {
@@ -190,7 +194,7 @@ func check(docPath string) error {
 // metricTokenRE matches the backticked tokens the reverse check treats as
 // metric references: the repository's metric-name families, optionally
 // ending in a `*` glob.
-var metricTokenRE = regexp.MustCompile(`^(router|worker|query|mutate|stream|compute|psolve|wal|antientropy|chaos)_[a-z0-9_]+\*?$`)
+var metricTokenRE = regexp.MustCompile(`^(router|worker|query|mutate|stream|compute|psolve|wal|antientropy|chaos|ooc)_[a-z0-9_]+\*?$`)
 
 // checkOps is the reverse check for runbook-style docs (OPERATIONS.md):
 // every backticked token shaped like a metric name must be a metric the
